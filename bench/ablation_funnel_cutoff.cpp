@@ -1,0 +1,63 @@
+// Ablation of FunnelTree's funnel/MCS cut-off depth (§3.2): the paper uses
+// funnel counters only in the top four tree levels and MCS-locked counters
+// below, reporting that funnels everywhere would have cost about 5%
+// (adaptive funnels shrink where traffic is light). This bench sweeps the
+// cut-off from 0 (all MCS) to the full tree depth (all funnels).
+//
+// A second table toggles elimination off, quantifying §3.3's claim that
+// elimination is what makes the bounded counters (and hence FunnelTree)
+// profitable under balanced insert/delete traffic.
+#include <iostream>
+
+#include "bench_support/measure.hpp"
+#include "bench_support/table.hpp"
+
+using namespace fpq;
+
+int main(int argc, char** argv) {
+  const u32 ops = bench_ops_per_proc(argc, argv, 150);
+  const std::vector<u32> procs = {16, 64, 256};
+  const u32 npriorities = 256; // 8 tree levels
+  std::vector<std::string> xs;
+  for (u32 p : procs) xs.push_back(std::to_string(p));
+
+  {
+    std::vector<Series> series;
+    for (u32 cutoff : {0u, 2u, 4u, 8u}) {
+      Series s{"cutoff=" + std::to_string(cutoff), {}};
+      for (u32 p : procs) {
+        MeasureConfig cfg;
+        cfg.algo = Algorithm::kFunnelTree;
+        cfg.nprocs = p;
+        cfg.npriorities = npriorities;
+        cfg.ops_per_proc = ops;
+        cfg.bin_capacity = 1u << 11;
+        cfg.funnel.tree_cutoff = cutoff;
+        s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+      }
+      series.push_back(std::move(s));
+    }
+    print_table(std::cout,
+                "Ablation: FunnelTree funnel/MCS cut-off depth (256 priorities)",
+                "procs", xs, series);
+  }
+  {
+    std::vector<Series> series;
+    for (bool elim : {true, false}) {
+      Series s{elim ? "elimination on" : "elimination off", {}};
+      for (u32 p : procs) {
+        MeasureConfig cfg;
+        cfg.algo = Algorithm::kFunnelTree;
+        cfg.nprocs = p;
+        cfg.npriorities = 16;
+        cfg.ops_per_proc = ops;
+        cfg.funnel.eliminate = elim;
+        s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+      }
+      series.push_back(std::move(s));
+    }
+    print_table(std::cout, "Ablation: FunnelTree elimination (16 priorities)",
+                "procs", xs, series);
+  }
+  return 0;
+}

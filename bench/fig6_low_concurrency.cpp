@@ -1,0 +1,39 @@
+// Figure 6: latency of all seven priority-queue implementations with 16
+// priorities at low concurrency (1..16 processors). The paper's right-hand
+// close-up is the four low-latency columns of the same data.
+//
+// Expected shape: SingleLock and HuntEtAl grow linearly and are worst;
+// SkipList somewhat better; SimpleLinear lowest; LinearFunnels ~1.5-3x
+// SimpleLinear; FunnelTree close to SimpleTree.
+#include <iostream>
+
+#include "bench_support/measure.hpp"
+#include "bench_support/table.hpp"
+
+using namespace fpq;
+
+int main(int argc, char** argv) {
+  const u32 ops = bench_ops_per_proc(argc, argv, 200);
+  const std::vector<u32> procs = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+
+  std::vector<std::string> xs;
+  for (u32 p : procs) xs.push_back(std::to_string(p));
+
+  std::vector<Series> series;
+  for (Algorithm a : all_algorithms()) {
+    Series s{std::string(to_string(a)), {}};
+    for (u32 p : procs) {
+      MeasureConfig cfg;
+      cfg.algo = a;
+      cfg.nprocs = p;
+      cfg.npriorities = 16;
+      cfg.ops_per_proc = ops;
+      s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(std::cout,
+              "Figure 6: latency (cycles/op), 16 priorities, low concurrency",
+              "procs", xs, series);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 7: latency of the four scalable implementations with 16
+// priorities from 2 to 256 processors.
+//
+// Expected shape: SimpleLinear fastest until ~32 processors; SimpleTree
+// collapses at high concurrency (root hot spot); FunnelTree overtakes
+// around 64 processors and at 256 is several times faster than
+// SimpleLinear and roughly an order of magnitude faster than SimpleTree;
+// LinearFunnels pays off from ~128 processors.
+#include <iostream>
+
+#include "bench_support/measure.hpp"
+#include "bench_support/table.hpp"
+
+using namespace fpq;
+
+int main(int argc, char** argv) {
+  const u32 ops = bench_ops_per_proc(argc, argv, 150);
+  const std::vector<u32> procs = {2, 4, 8, 16, 32, 64, 128, 256};
+
+  std::vector<std::string> xs;
+  for (u32 p : procs) xs.push_back(std::to_string(p));
+
+  std::vector<Series> series;
+  for (Algorithm a : scalable_algorithms()) {
+    Series s{std::string(to_string(a)), {}};
+    for (u32 p : procs) {
+      MeasureConfig cfg;
+      cfg.algo = a;
+      cfg.nprocs = p;
+      cfg.npriorities = 16;
+      cfg.ops_per_proc = ops;
+      s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(std::cout,
+              "Figure 7: latency (cycles/op), 16 priorities, high concurrency",
+              "procs", xs, series);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9: latency as the priority range grows from 2 to 512, at 64
+// processors (left graph) and 256 processors (right graph).
+//
+// Expected shape: SimpleLinear traces a "u" (more scan work vs. less
+// contention); LinearFunnels grows roughly linearly with N (one more
+// funnel per priority); SimpleTree is near-flat at 64 (root-bound) and off
+// the chart at 256 (the paper omits it there; we print it anyway);
+// FunnelTree grows sub-logarithmically and is best almost everywhere at
+// high concurrency.
+#include <iostream>
+
+#include "bench_support/measure.hpp"
+#include "bench_support/table.hpp"
+
+using namespace fpq;
+
+namespace {
+
+void sweep(u32 nprocs, u32 ops) {
+  const std::vector<u32> prios = {2, 4, 8, 16, 32, 64, 128, 256, 512};
+  std::vector<std::string> xs;
+  for (u32 n : prios) xs.push_back(std::to_string(n));
+  std::vector<Series> series;
+  for (Algorithm a : scalable_algorithms()) {
+    Series s{std::string(to_string(a)), {}};
+    for (u32 n : prios) {
+      MeasureConfig cfg;
+      cfg.algo = a;
+      cfg.nprocs = nprocs;
+      cfg.npriorities = n;
+      cfg.ops_per_proc = ops;
+      cfg.bin_capacity = n >= 128 ? (1u << 11) : (1u << 14);
+      s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+    }
+    series.push_back(std::move(s));
+  }
+  print_table(std::cout,
+              "Figure 9: latency (cycles/op) vs priorities, " +
+                  std::to_string(nprocs) + " processors",
+              "prios", xs, series);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const u32 ops = bench_ops_per_proc(argc, argv, 100);
+  sweep(64, ops);
+  sweep(256, ops);
+  return 0;
+}

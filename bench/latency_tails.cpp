@@ -1,0 +1,52 @@
+// Extension study (beyond the paper, which reports means only): latency
+// *distributions* of the four scalable queues. The argument for combining
+// funnels is really a tail argument — the hot-spot convoys that destroy
+// SimpleTree show up as multi-hundred-k p99s long before they dominate the
+// mean — so this table is the paper's Fig. 7 story told in percentiles.
+#include <cstdio>
+
+#include "bench_support/workload.hpp"
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "sim/engine.hpp"
+
+using namespace fpq;
+
+namespace {
+
+DetailedStats measure_detailed(Algorithm algo, u32 nprocs, u32 ops) {
+  PqParams params;
+  params.npriorities = 16;
+  params.maxprocs = nprocs;
+  params.bin_capacity = 1u << 14;
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  WorkloadParams w;
+  w.nprocs = nprocs;
+  w.ops_per_proc = ops;
+  // run_pq_workload_detailed goes through P::run, which builds a fresh
+  // default-parameter engine — exactly the calibrated machine.
+  return run_pq_workload_detailed<SimPlatform>(*pq, w);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  u32 ops = 150;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--quick") ops = 40;
+    if (a.rfind("--ops=", 0) == 0) ops = static_cast<u32>(std::stoul(std::string(a.substr(6))));
+  }
+  std::printf("\n== Latency tails (cycles), 16 priorities — extension of Fig. 7 ==\n");
+  for (u32 nprocs : {64u, 256u}) {
+    std::printf("\nP=%u\n%-14s %10s  %s\n", nprocs, "algorithm", "mean",
+                "distribution");
+    for (Algorithm a : scalable_algorithms()) {
+      const DetailedStats s = measure_detailed(a, nprocs, ops);
+      std::printf("%-14s %10.0f  %s\n", std::string(to_string(a)).c_str(),
+                  s.all.mean(), s.all.summary().c_str());
+    }
+  }
+  std::fflush(stdout);
+  return 0;
+}

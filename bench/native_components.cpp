@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the synchronization substrate on the
+// NATIVE backend (std::atomic + real threads). These complement the
+// simulator figures: the simulator shows 256-way trends; these show that
+// the same code is a sane real-hardware implementation. Thread counts are
+// modest because the machine may have few cores.
+//
+// Shared fixtures are function-local statics (thread-safe magic statics)
+// that live for the whole process: every operation pair is balanced, so
+// state carried across thread counts is benign.
+#include <benchmark/benchmark.h>
+
+#include "container/bin.hpp"
+#include "container/counters.hpp"
+#include "funnel/counter.hpp"
+#include "funnel/stack.hpp"
+#include "platform/native.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/ttas_lock.hpp"
+
+using namespace fpq;
+
+namespace {
+
+constexpr u32 kMaxThreads = 8;
+
+void adopt(benchmark::State& state) {
+  NativePlatform::adopt(static_cast<ProcId>(state.thread_index()),
+                        static_cast<u32>(state.threads()));
+}
+
+void BM_McsLock(benchmark::State& state) {
+  static McsLock<NativePlatform> lock(kMaxThreads);
+  adopt(state);
+  u64 sink = 0;
+  for (auto _ : state) {
+    McsGuard<NativePlatform> g(lock);
+    benchmark::DoNotOptimize(++sink);
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_McsLock)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_TtasLock(benchmark::State& state) {
+  static TtasLock<NativePlatform> lock;
+  adopt(state);
+  u64 sink = 0;
+  for (auto _ : state) {
+    TtasGuard<NativePlatform> g(lock);
+    benchmark::DoNotOptimize(++sink);
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_TtasLock)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_CasCounterBfad(benchmark::State& state) {
+  static CasCounter<NativePlatform> ctr(1 << 20);
+  adopt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.bfad(0));
+    benchmark::DoNotOptimize(ctr.fai());
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_CasCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_McsCounterBfad(benchmark::State& state) {
+  static McsCounter<NativePlatform> ctr(kMaxThreads, 1 << 20);
+  adopt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.bfad(0));
+    benchmark::DoNotOptimize(ctr.fai());
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_McsCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_FunnelCounterBfad(benchmark::State& state) {
+  static FunnelCounter<NativePlatform> ctr(
+      kMaxThreads, FunnelParams::for_procs(kMaxThreads),
+      {/*bounded=*/true, /*eliminate=*/true, /*floor=*/0}, 1 << 20);
+  adopt(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.bfad(0));
+    benchmark::DoNotOptimize(ctr.fai());
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_FunnelCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_LockedBin(benchmark::State& state) {
+  static LockedBin<NativePlatform> bin(kMaxThreads, 1 << 16);
+  adopt(state);
+  for (auto _ : state) {
+    bin.insert(42);
+    benchmark::DoNotOptimize(bin.remove());
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_LockedBin)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+void BM_FunnelStack(benchmark::State& state) {
+  static FunnelStack<NativePlatform> st(kMaxThreads,
+                                        FunnelParams::for_procs(kMaxThreads), 1 << 16);
+  adopt(state);
+  for (auto _ : state) {
+    st.push(42);
+    benchmark::DoNotOptimize(st.pop());
+  }
+  NativePlatform::release();
+}
+BENCHMARK(BM_FunnelStack)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+} // namespace
+
+BENCHMARK_MAIN();

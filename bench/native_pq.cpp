@@ -1,0 +1,53 @@
+// google-benchmark: the seven queues on the NATIVE backend, one
+// insert+delete-min pair per iteration, 1..4 threads. Complements the
+// simulator figures with real-hardware numbers at laptop-scale
+// concurrency. Queues are created once per algorithm and persist (each
+// iteration is balanced, so carried-over state is a few in-flight items).
+#include <array>
+#include <memory>
+#include <mutex>
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "platform/native.hpp"
+
+using namespace fpq;
+
+namespace {
+
+constexpr u32 kMaxThreads = 8;
+
+IPriorityQueue<NativePlatform>& queue_for(Algorithm algo) {
+  static std::array<std::unique_ptr<IPriorityQueue<NativePlatform>>, 7> queues;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+  auto& slot = queues[static_cast<std::size_t>(algo)];
+  if (!slot) {
+    PqParams params;
+    params.npriorities = 16;
+    params.maxprocs = kMaxThreads;
+    params.bin_capacity = 1u << 16;
+    slot = make_priority_queue<NativePlatform>(algo, params);
+  }
+  return *slot;
+}
+
+void BM_PqMixed(benchmark::State& state) {
+  const Algorithm algo = static_cast<Algorithm>(state.range(0));
+  IPriorityQueue<NativePlatform>& pq = queue_for(algo);
+  NativePlatform::adopt(static_cast<ProcId>(state.thread_index()),
+                        static_cast<u32>(state.threads()));
+  for (auto _ : state) {
+    pq.insert(static_cast<Prio>(NativePlatform::rnd(16)), 7);
+    benchmark::DoNotOptimize(pq.delete_min());
+  }
+  NativePlatform::release();
+  state.SetLabel(std::string(to_string(algo)));
+}
+
+} // namespace
+
+BENCHMARK(BM_PqMixed)->DenseRange(0, 6, 1)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
+
+BENCHMARK_MAIN();

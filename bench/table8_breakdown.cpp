@@ -1,0 +1,50 @@
+// Figure 8 (the paper's table): latency broken down into insert and
+// delete-min for the four scalable implementations, over
+// N (priorities) ∈ {16, 128} × P (processors) ∈ {16, 64, 256}.
+// Values are thousands of cycles, printed in the paper's row layout.
+//
+// Expected shape: inserts cheaper than delete-mins for the tree methods
+// (insertions update half as many counters on average); funnel methods far
+// less sensitive to contention as N and P grow; SimpleTree's delete-min
+// dominated by the root at P=256.
+#include <cstdio>
+
+#include "bench_support/measure.hpp"
+
+using namespace fpq;
+
+int main(int argc, char** argv) {
+  const u32 ops = bench_ops_per_proc(argc, argv, 150);
+  struct Row {
+    u32 nprocs;
+    u32 npriorities;
+  };
+  const Row rows[] = {{16, 16}, {16, 128}, {64, 16}, {64, 128}, {256, 16}, {256, 128}};
+
+  std::printf("\n== Figure 8: insert / delete-min / all latency (thousands of cycles) ==\n");
+  std::printf("%4s %4s |", "P", "N");
+  for (Algorithm a : scalable_algorithms())
+    std::printf(" %-22s|", std::string(to_string(a)).c_str());
+  std::printf("\n%4s %4s |", "", "");
+  for (std::size_t i = 0; i < scalable_algorithms().size(); ++i)
+    std::printf("  %5s  %5s  %5s  |", "Ins.", "Del.", "All");
+  std::printf("\n");
+
+  for (const Row& r : rows) {
+    std::printf("%4u %4u |", r.nprocs, r.npriorities);
+    for (Algorithm a : scalable_algorithms()) {
+      MeasureConfig cfg;
+      cfg.algo = a;
+      cfg.nprocs = r.nprocs;
+      cfg.npriorities = r.npriorities;
+      cfg.ops_per_proc = ops;
+      cfg.bin_capacity = r.npriorities >= 128 ? (1u << 12) : (1u << 14);
+      const OpStats s = measure_sim(cfg);
+      std::printf("  %5s  %5s  %5s  |", fmt_kcycles(s.mean_insert()).c_str(),
+                  fmt_kcycles(s.mean_delete()).c_str(), fmt_kcycles(s.mean_all()).c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+  return 0;
+}

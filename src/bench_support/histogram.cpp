@@ -1,0 +1,28 @@
+#include "bench_support/histogram.hpp"
+
+#include <cstdio>
+
+namespace fpq {
+
+namespace {
+std::string fmt_short(Cycles v) {
+  char buf[32];
+  if (v >= 10'000'000)
+    std::snprintf(buf, sizeof(buf), "%.0fM", static_cast<double>(v) / 1e6);
+  else if (v >= 10'000)
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+} // namespace
+
+std::string LatencyHistogram::summary() const {
+  std::string s = "p50=" + fmt_short(percentile(0.50));
+  s += " p95=" + fmt_short(percentile(0.95));
+  s += " p99=" + fmt_short(percentile(0.99));
+  s += " max=" + fmt_short(max_);
+  return s;
+}
+
+} // namespace fpq

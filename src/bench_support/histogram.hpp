@@ -1,0 +1,81 @@
+// Log-bucketed latency histogram. The paper reports means; a mean hides
+// exactly the pathology this paper is about (lock convoys put the tail
+// orders of magnitude above the median), so the benches can optionally
+// report percentiles too.
+//
+// Buckets are half-octaves (1, 1.5, 2, 3, 4, 6, 8, ...): percentiles are
+// reported as the bucket's lower edge, i.e. under-reported by at most
+// ~33%. 128 buckets cover [1, 2^64). Recording is O(1) with no
+// allocation; merging is element-wise.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+class LatencyHistogram {
+ public:
+  static constexpr u32 kBuckets = 128;
+
+  void record(Cycles v) {
+    ++counts_[bucket_of(v)];
+    ++n_;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatencyHistogram& o) {
+    for (u32 i = 0; i < kBuckets; ++i) counts_[i] += o.counts_[i];
+    n_ += o.n_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  u64 count() const { return n_; }
+  Cycles max() const { return max_; }
+  double mean() const { return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0; }
+
+  /// Value at quantile q in [0,1]: nearest-rank percentile, reported as the
+  /// lower edge of the bucket holding that sample.
+  Cycles percentile(double q) const {
+    if (n_ == 0) return 0;
+    const double exact = q * static_cast<double>(n_);
+    u64 rank = exact <= 1.0 ? 0 : static_cast<u64>(exact + 0.999999) - 1;
+    if (rank >= n_) rank = n_ - 1;
+    u64 seen = 0;
+    for (u32 i = 0; i < kBuckets; ++i) {
+      seen += counts_[i];
+      if (seen > rank) return lower_edge(i);
+    }
+    return max_;
+  }
+
+  /// "p50=1.2k p95=8.4k p99=31k max=88k"
+  std::string summary() const;
+
+  static u32 bucket_of(Cycles v) {
+    if (v <= 1) return 0;
+    const u32 lg = 63 - static_cast<u32>(__builtin_clzll(v));
+    // Upper half of each octave ([1.5*2^lg, 2^(lg+1))) gets the odd bucket.
+    const Cycles mid = (1ull << lg) + (1ull << lg) / 2;
+    const u32 b = 2 * lg + (v >= mid ? 1u : 0u);
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  static Cycles lower_edge(u32 bucket) {
+    const u32 lg = bucket / 2;
+    const Cycles base = 1ull << lg;
+    return bucket % 2 == 0 ? base : base + base / 2;
+  }
+
+ private:
+  std::array<u64, kBuckets> counts_{};
+  u64 n_ = 0;
+  u64 sum_ = 0;
+  Cycles max_ = 0;
+};
+
+} // namespace fpq

@@ -1,0 +1,37 @@
+#include "bench_support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace fpq {
+
+void print_table(std::ostream& os, const std::string& title, const std::string& x_name,
+                 const std::vector<std::string>& xs, const std::vector<Series>& series) {
+  os << "\n== " << title << " ==\n";
+  std::vector<std::size_t> widths;
+  widths.push_back(x_name.size());
+  for (const auto& x : xs) widths[0] = std::max(widths[0], x.size());
+  for (const auto& s : series) {
+    FPQ_ASSERT_MSG(s.values.size() == xs.size(), "series length mismatch");
+    std::size_t w = s.name.size();
+    for (const auto& v : s.values) w = std::max(w, v.size());
+    widths.push_back(w);
+  }
+  auto pad = [&os](const std::string& s, std::size_t w) {
+    os << s;
+    for (std::size_t i = s.size(); i < w + 2; ++i) os << ' ';
+  };
+  pad(x_name, widths[0]);
+  for (std::size_t c = 0; c < series.size(); ++c) pad(series[c].name, widths[c + 1]);
+  os << '\n';
+  for (std::size_t r = 0; r < xs.size(); ++r) {
+    pad(xs[r], widths[0]);
+    for (std::size_t c = 0; c < series.size(); ++c) pad(series[c].values[r], widths[c + 1]);
+    os << '\n';
+  }
+  os.flush();
+}
+
+} // namespace fpq

@@ -1,0 +1,20 @@
+// Column-aligned text tables for the benchmark binaries: each figure bench
+// prints the same series the paper plots, one row per x value, one column
+// per algorithm.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fpq {
+
+struct Series {
+  std::string name;
+  std::vector<std::string> values; // one per x
+};
+
+void print_table(std::ostream& os, const std::string& title, const std::string& x_name,
+                 const std::vector<std::string>& xs, const std::vector<Series>& series);
+
+} // namespace fpq

@@ -1,0 +1,163 @@
+// The paper's benchmark workload (§4): each processor alternates between a
+// small constant amount of local work and an access to the priority queue;
+// the access is an insert of a random value or a delete-min, chosen by an
+// unbiased coin flip (the mix is parameterizable for Fig. 5's sweeps). The
+// queue starts empty. Latency is the time of the access itself.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "bench_support/histogram.hpp"
+#include "bench_support/stats.hpp"
+#include "pq/pq.hpp"
+
+namespace fpq {
+
+struct WorkloadParams {
+  u32 nprocs = 8;
+  u32 ops_per_proc = 200;
+  /// Local work between accesses ("kept at a small constant", §4).
+  Cycles local_work = 200;
+  /// Percentage of accesses that are inserts (50 = the paper's coin flip).
+  u32 insert_pct = 50;
+  u64 seed = 42;
+};
+
+/// The per-processor loop of the paper's workload, writing into
+/// `per_proc[id]`. Exposed so callers can run it on a custom simulator
+/// engine (see bench_support/measure.hpp).
+template <Platform P>
+std::function<void(ProcId)> pq_workload_body(IPriorityQueue<P>& pq,
+                                             const WorkloadParams& w,
+                                             std::vector<Padded<OpStats>>& per_proc) {
+  FPQ_ASSERT(w.insert_pct <= 100);
+  FPQ_ASSERT(per_proc.size() >= w.nprocs);
+  const u32 npri = pq.npriorities();
+  return [&pq, w, npri, &per_proc](ProcId id) {
+    OpStats& r = *per_proc[id];
+    for (u32 i = 0; i < w.ops_per_proc; ++i) {
+      P::delay(w.local_work);
+      const bool is_insert = P::rnd(100) < w.insert_pct;
+      if (is_insert) {
+        const Prio prio = static_cast<Prio>(P::rnd(npri));
+        const Item item = (static_cast<u64>(id) << 24) | i;
+        const Cycles t0 = P::now();
+        const bool ok = pq.insert(prio, item);
+        r.insert_cycles += P::now() - t0;
+        ++r.inserts;
+        FPQ_ASSERT_MSG(ok, "queue capacity exhausted; enlarge bin_capacity");
+      } else {
+        const Cycles t0 = P::now();
+        const auto e = pq.delete_min();
+        r.delete_cycles += P::now() - t0;
+        ++r.deletes;
+        if (!e) ++r.empty_deletes;
+      }
+    }
+  };
+}
+
+/// Drives `pq` with the paper's workload on P and returns merged stats.
+template <Platform P>
+OpStats run_pq_workload(IPriorityQueue<P>& pq, const WorkloadParams& w) {
+  std::vector<Padded<OpStats>> per_proc(w.nprocs);
+  P::run(w.nprocs, pq_workload_body<P>(pq, w, per_proc), w.seed);
+  OpStats total;
+  for (const auto& s : per_proc) total += *s;
+  return total;
+}
+
+/// Per-operation latency distributions for one workload run (means hide
+/// the convoys this paper is about, so the tail benches use these).
+struct DetailedStats {
+  OpStats ops;
+  LatencyHistogram all;
+  LatencyHistogram insert;
+  LatencyHistogram del;
+
+  DetailedStats& operator+=(const DetailedStats& o) {
+    ops += o.ops;
+    all.merge(o.all);
+    insert.merge(o.insert);
+    del.merge(o.del);
+    return *this;
+  }
+};
+
+/// run_pq_workload, but also collecting per-op latency histograms.
+template <Platform P>
+DetailedStats run_pq_workload_detailed(IPriorityQueue<P>& pq, const WorkloadParams& w) {
+  FPQ_ASSERT(w.insert_pct <= 100);
+  std::vector<Padded<DetailedStats>> per_proc(w.nprocs);
+  const u32 npri = pq.npriorities();
+  P::run(
+      w.nprocs,
+      [&](ProcId id) {
+        DetailedStats& r = *per_proc[id];
+        for (u32 i = 0; i < w.ops_per_proc; ++i) {
+          P::delay(w.local_work);
+          const bool is_insert = P::rnd(100) < w.insert_pct;
+          const Cycles t0 = P::now();
+          if (is_insert) {
+            const bool ok =
+                pq.insert(static_cast<Prio>(P::rnd(npri)), (static_cast<u64>(id) << 24) | i);
+            FPQ_ASSERT_MSG(ok, "queue capacity exhausted; enlarge bin_capacity");
+            const Cycles dt = P::now() - t0;
+            ++r.ops.inserts;
+            r.ops.insert_cycles += dt;
+            r.insert.record(dt);
+            r.all.record(dt);
+          } else {
+            const auto e = pq.delete_min();
+            const Cycles dt = P::now() - t0;
+            ++r.ops.deletes;
+            r.ops.delete_cycles += dt;
+            if (!e) ++r.ops.empty_deletes;
+            r.del.record(dt);
+            r.all.record(dt);
+          }
+        }
+      },
+      w.seed);
+  DetailedStats total;
+  for (const auto& s : per_proc) total += *s;
+  return total;
+}
+
+/// Counter workload for Fig. 5: `op(is_increment)` performs one counter
+/// operation; the mix and cadence match the queue workload.
+template <Platform P>
+OpStats run_counter_workload(const std::function<void(bool)>& op, u32 nprocs,
+                             u32 ops_per_proc, u32 increment_pct, Cycles local_work,
+                             u64 seed) {
+  std::vector<Padded<OpStats>> per_proc(nprocs);
+  P::run(
+      nprocs,
+      [&](ProcId id) {
+        OpStats& r = *per_proc[id];
+        for (u32 i = 0; i < ops_per_proc; ++i) {
+          P::delay(local_work);
+          const bool inc = P::rnd(100) < increment_pct;
+          const Cycles t0 = P::now();
+          op(inc);
+          const Cycles dt = P::now() - t0;
+          if (inc) {
+            ++r.inserts;
+            r.insert_cycles += dt;
+          } else {
+            ++r.deletes;
+            r.delete_cycles += dt;
+          }
+        }
+      },
+      seed);
+  OpStats total;
+  for (const auto& s : per_proc) total += *s;
+  return total;
+}
+
+} // namespace fpq

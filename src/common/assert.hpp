@@ -1,0 +1,30 @@
+// Internal invariant checking. FPQ_ASSERT is active in all build types:
+// the algorithms in this library are subtle enough that silent invariant
+// corruption costs far more than the branch. Failure messages carry the
+// expression and location so a simulator run (which is deterministic) can
+// be replayed to the exact faulting access.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpq::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "funnelpq assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+} // namespace fpq::detail
+
+#define FPQ_ASSERT(expr)                                                        \
+  do {                                                                          \
+    if (!(expr)) ::fpq::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define FPQ_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) ::fpq::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,23 @@
+// Small bit-arithmetic helpers shared by the tree-shaped structures.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+inline constexpr u32 round_up_pow2(u32 v) {
+  u32 p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+inline constexpr u32 floor_log2(u32 v) {
+  u32 l = 0;
+  while ((v >> 1) != 0) {
+    v >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+} // namespace fpq

@@ -1,0 +1,38 @@
+// A priority-queue entry packed into one 64-bit word: 16 bits of priority,
+// 48 bits of item payload. Packing lets heap slots, bins and stack cells be
+// single shared words, so every algorithm manipulates them with the
+// platform's single-word primitives exactly as the paper's machines did
+// with register-to-memory-swap and compare-and-swap.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+struct Entry {
+  Prio prio = 0;
+  Item item = 0;
+
+  friend bool operator==(const Entry&, const Entry&) = default;
+};
+
+inline constexpr u32 kMaxPackablePrio = 0xFFFF;
+inline constexpr u64 kMaxPackableItem = (1ull << 48) - 1;
+
+inline u64 pack_entry(Entry e) {
+  FPQ_ASSERT_MSG(e.prio < kMaxPackablePrio, "priority exceeds 16 bits - 1 (top value reserved)");
+  FPQ_ASSERT_MSG(e.item <= kMaxPackableItem, "item exceeds 48 bits");
+  return (static_cast<u64>(e.prio) << 48) | e.item;
+}
+
+inline Entry unpack_entry(u64 w) {
+  return Entry{static_cast<Prio>(w >> 48), w & kMaxPackableItem};
+}
+
+/// Sentinel meaning "no entry": priority 0xFFFF with an all-ones payload is
+/// never produced by pack_entry for a legal entry because we reserve the
+/// top priority value.
+inline constexpr u64 kNoEntry = ~0ull;
+
+} // namespace fpq

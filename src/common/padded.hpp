@@ -1,0 +1,21 @@
+// Cache-line padding wrapper. Per-processor slots inside shared arrays
+// (funnel layer cells, MCS queue nodes, latency counters) are padded so the
+// native backend doesn't suffer false sharing that the simulated machine
+// (word-granularity coherence) wouldn't model.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+template <class T>
+struct alignas(kCacheLineBytes) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+} // namespace fpq

@@ -1,0 +1,55 @@
+// Small deterministic PRNG used by every processor context. xorshift128+ is
+// fast, has no shared state, and produces identical streams across the
+// native and simulated backends, which keeps workloads comparable and test
+// failures replayable.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+class Xorshift {
+ public:
+  /// Seeds are mixed through splitmix64 so that consecutive seeds (e.g. one
+  /// per processor id) yield uncorrelated streams.
+  explicit Xorshift(u64 seed = 0x9e3779b97f4a7c15ull) {
+    auto mix = [](u64& z) {
+      z += 0x9e3779b97f4a7c15ull;
+      u64 x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    u64 z = seed;
+    s0_ = mix(z);
+    s1_ = mix(z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1; // the all-zero state is absorbing
+  }
+
+  u64 next() {
+    u64 x = s0_;
+    const u64 y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound == 0 is a caller bug.
+  u64 below(u64 bound) {
+    FPQ_ASSERT(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (layer widths, priority ranges).
+    return static_cast<u64>((static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Unbiased coin flip, used by the paper's workload (§4).
+  bool flip() { return (next() & 1) != 0; }
+
+ private:
+  u64 s0_;
+  u64 s1_;
+};
+
+} // namespace fpq

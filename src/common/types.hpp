@@ -1,0 +1,35 @@
+// Fundamental fixed-width aliases and small value types shared by every
+// module of the library.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fpq {
+
+using u8  = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Identifier of a (simulated or native) processor. Processors are numbered
+/// densely from 0 to nprocs-1 for the lifetime of one workload run.
+using ProcId = u32;
+
+/// Priorities are a bounded range [0, npriorities). Smaller is "better":
+/// delete-min removes an item with the smallest priority (paper Appendix B).
+using Prio = u32;
+
+/// Opaque item payload carried through a priority queue. 48 bits survive a
+/// packed Entry (see entry.hpp); the full 64 bits survive everywhere else.
+using Item = u64;
+
+/// Simulated cycles, or nanoseconds in the native backend. Latency numbers
+/// reported by benchmarks are differences of these.
+using Cycles = u64;
+
+inline constexpr u32 kCacheLineBytes = 64;
+
+} // namespace fpq

@@ -1,0 +1,60 @@
+// The paper's "bin" (Fig. 1): an unordered pool of items with insert,
+// remove-arbitrary and a one-read emptiness test, guarded by an MCS lock.
+// This is the building block of SimpleLinear / SimpleTree / SkipList; the
+// funnel algorithms replace it with the combining-funnel stack.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "sync/mcs_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class LockedBin {
+ public:
+  /// `capacity` bounds the number of simultaneously stored items; exceeding
+  /// it is reported to the caller (the paper's code silently drops, which
+  /// we refuse to reproduce).
+  LockedBin(u32 maxprocs, u32 capacity) : lock_(maxprocs), elems_(capacity) {
+    FPQ_ASSERT(capacity > 0);
+  }
+
+  /// bin-insert. Returns false when the bin is full.
+  bool insert(Item e) {
+    McsGuard<P> g(lock_);
+    const u64 n = size_.load();
+    if (n >= elems_.size()) return false;
+    elems_[n].store(e);
+    size_.store(n + 1);
+    return true;
+  }
+
+  /// bin-delete: removes an unspecified element (the most recent one, as in
+  /// the paper's array code).
+  std::optional<Item> remove() {
+    McsGuard<P> g(lock_);
+    const u64 n = size_.load();
+    if (n == 0) return std::nullopt;
+    Item e = elems_[n - 1].load();
+    size_.store(n - 1);
+    return e;
+  }
+
+  /// bin-empty: a single read of the size word, no lock (paper Fig. 1 and
+  /// the LinearFunnels discussion in §3.2 both rely on this being cheap).
+  bool empty() const { return size_.load() == 0; }
+
+  u32 capacity() const { return static_cast<u32>(elems_.size()); }
+
+ private:
+  McsLock<P> lock_;
+  typename P::template Shared<u64> size_{0};
+  std::vector<typename P::template Shared<u64>> elems_;
+};
+
+} // namespace fpq

@@ -1,0 +1,97 @@
+// Shared counters supporting fetch-and-increment / fetch-and-decrement and
+// their *bounded* variants (paper §2.1, Fig. 1). Two non-funnel
+// implementations:
+//
+//   CasCounter — the "hardware" counter: FaI is a fetch-and-add; the bounded
+//                operations are single-word CAS retry loops, i.e. the
+//                atomically{...} blocks of Fig. 1 executed by the machine's
+//                RMW primitive.
+//   McsCounter — the counter guarded by an MCS lock; the paper uses these
+//                for the deep (low-traffic) tree levels of FunnelTree.
+//
+// The funnel-based counter lives in src/funnel/bounded_counter.hpp. All
+// three expose the same interface so tree algorithms can mix them per node.
+#pragma once
+
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "sync/mcs_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class CasCounter {
+ public:
+  explicit CasCounter(i64 initial = 0) : v_(initial) {}
+
+  i64 fai() { return v_.fetch_add(1); }
+  i64 fad() { return v_.fetch_add(-1); }
+
+  /// Bounded fetch-and-decrement: decrements only if the current value is
+  /// greater than `bound`; always returns the pre-operation value
+  /// (paper Fig. 1, BFaD).
+  i64 bfad(i64 bound) {
+    i64 old = v_.load();
+    for (;;) {
+      if (old <= bound) return old;
+      if (v_.compare_exchange(old, old - 1)) return old;
+      // compare_exchange reloaded `old` on failure.
+    }
+  }
+
+  /// Bounded fetch-and-increment: increments only while below `bound`.
+  i64 bfai(i64 bound) {
+    i64 old = v_.load();
+    for (;;) {
+      if (old >= bound) return old;
+      if (v_.compare_exchange(old, old + 1)) return old;
+    }
+  }
+
+  i64 read() const { return v_.load(); }
+
+ private:
+  typename P::template Shared<i64> v_;
+};
+
+template <Platform P>
+class McsCounter {
+ public:
+  McsCounter(u32 maxprocs, i64 initial = 0) : lock_(maxprocs), v_(initial) {}
+
+  i64 fai() {
+    McsGuard<P> g(lock_);
+    i64 old = v_.load();
+    v_.store(old + 1);
+    return old;
+  }
+
+  i64 fad() {
+    McsGuard<P> g(lock_);
+    i64 old = v_.load();
+    v_.store(old - 1);
+    return old;
+  }
+
+  i64 bfad(i64 bound) {
+    McsGuard<P> g(lock_);
+    i64 old = v_.load();
+    if (old > bound) v_.store(old - 1);
+    return old;
+  }
+
+  i64 bfai(i64 bound) {
+    McsGuard<P> g(lock_);
+    i64 old = v_.load();
+    if (old < bound) v_.store(old + 1);
+    return old;
+  }
+
+  i64 read() const { return v_.load(); }
+
+ private:
+  McsLock<P> lock_;
+  typename P::template Shared<i64> v_;
+};
+
+} // namespace fpq

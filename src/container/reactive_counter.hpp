@@ -1,0 +1,157 @@
+// Reactive counter in the style of Lim & Agarwal '94 — the alternative the
+// paper's footnote 4 points at: instead of embedding adaption *inside* the
+// structure (combining funnels), reactively replace one whole structure
+// with another — here an MCS-locked counter under low load and a combining
+// funnel under high load.
+//
+// The paper's criticism is that such schemes need "a more centralized (as
+// opposed to distributed) algorithmic solution and strong coordination";
+// this implementation makes that cost concrete: every operation announces
+// itself on a per-mode active counter (two extra RMWs) so a switcher can
+// wait for the outgoing representation to drain before transferring the
+// value. bench/reactive_counter quantifies the overhead against the plain
+// funnel counter.
+//
+// Protocol
+//   * mode ∈ {MCS, FUNNEL, TRANSITION}.
+//   * op: announce on active[m]; re-check mode (retry if it moved); perform
+//     the operation on representation m; retire from active[m].
+//   * switch (any op may trigger one on local contention evidence):
+//     CAS mode m -> TRANSITION, wait for active[m] == 0, move the value
+//     into the other representation, publish the new mode.
+// Ops that see TRANSITION spin. The active counters are themselves shared
+// hot words — that is the point being demonstrated, not an oversight.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "funnel/counter.hpp"
+#include "funnel/params.hpp"
+#include "platform/platform.hpp"
+#include "sync/mcs_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class ReactiveCounter {
+ public:
+  /// Contention evidence needed to switch up/down (consecutive operations
+  /// per processor).
+  struct Tuning {
+    Cycles high_wait = 400; // lock acquisition slower than this = contended
+    u32 up_streak = 3;      // contended MCS ops before switching to funnel
+    u32 down_streak = 16;   // uncontended funnel ops before switching back
+  };
+
+  ReactiveCounter(u32 maxprocs, const FunnelParams& fp, i64 floor, i64 initial = 0,
+                  Tuning tuning = {})
+      : tuning_(tuning),
+        floor_(floor),
+        lock_(maxprocs),
+        value_(initial),
+        funnel_(maxprocs, fp,
+                typename FunnelCounter<P>::Config{true, true, floor,
+                                                  FunnelCounter<P>::kNoCeiling},
+                initial),
+        streaks_(maxprocs) {}
+
+  i64 fai() { return apply(+1); }
+
+  i64 bfad(i64 bound) {
+    FPQ_ASSERT_MSG(bound == floor_, "reactive counter is bound-specialized");
+    return apply(-1);
+  }
+
+  /// Quiescent-only read.
+  i64 read() const { return mode_.load() == kFunnel ? funnel_.read() : value_.load(); }
+
+  bool using_funnel() const { return mode_.load() == kFunnel; }
+  u64 switches() const { return switches_.load(); }
+
+ private:
+  static constexpr u32 kMcs = 0;
+  static constexpr u32 kFunnel = 1;
+  static constexpr u32 kTransition = 2;
+
+  struct alignas(kCacheLineBytes) Streak {
+    u32 high = 0; // contended MCS ops in a row
+    u32 calm = 0; // cheap funnel ops in a row
+  };
+
+  i64 apply(i64 delta) {
+    for (;;) {
+      const u32 m = mode_.load();
+      if (m == kTransition) {
+        P::pause();
+        continue;
+      }
+      active_[m].fetch_add(1);
+      if (mode_.load() != m) {
+        active_[m].fetch_add(static_cast<u64>(-1));
+        continue;
+      }
+      i64 result;
+      bool contended = false;
+      if (m == kMcs) {
+        const Cycles t0 = P::now();
+        McsGuard<P> g(lock_);
+        contended = P::now() - t0 > tuning_.high_wait;
+        result = value_.load();
+        if (delta > 0 || result > floor_) value_.store(result + delta);
+      } else {
+        const Cycles t0 = P::now();
+        result = delta > 0 ? funnel_.fai() : funnel_.bfad(floor_);
+        contended = P::now() - t0 > tuning_.high_wait;
+      }
+      active_[m].fetch_add(static_cast<u64>(-1));
+      maybe_switch(m, contended);
+      return result;
+    }
+  }
+
+  void maybe_switch(u32 m, bool contended) {
+    Streak& s = *streaks_[P::self()];
+    if (m == kMcs) {
+      s.high = contended ? s.high + 1 : 0;
+      if (s.high >= tuning_.up_streak) {
+        s.high = 0;
+        switch_mode(kMcs, kFunnel);
+      }
+    } else {
+      s.calm = contended ? 0 : s.calm + 1;
+      if (s.calm >= tuning_.down_streak) {
+        s.calm = 0;
+        switch_mode(kFunnel, kMcs);
+      }
+    }
+  }
+
+  void switch_mode(u32 from, u32 to) {
+    u32 expected = from;
+    if (!mode_.compare_exchange(expected, kTransition)) return; // lost the race
+    // Drain the outgoing representation: every announced op retires.
+    P::spin_until(active_[from], [](u64 a) { return a == 0; });
+    if (to == kFunnel)
+      funnel_.set_value(value_.load());
+    else
+      value_.store(funnel_.read());
+    switches_.fetch_add(1);
+    mode_.store(to);
+  }
+
+  Tuning tuning_;
+  i64 floor_;
+  typename P::template Shared<u32> mode_{kMcs};
+  typename P::template Shared<u64> active_[2]{};
+  typename P::template Shared<u64> switches_{0};
+  McsLock<P> lock_;
+  typename P::template Shared<i64> value_;
+  FunnelCounter<P> funnel_;
+  std::vector<Padded<Streak>> streaks_;
+};
+
+} // namespace fpq

@@ -1,0 +1,22 @@
+// funnelpq — scalable bounded-range concurrent priority queues.
+//
+// Umbrella header: include this to get the whole public API. See README.md
+// for a tour and DESIGN.md for the architecture.
+//
+//   PqParams params{.npriorities = 16, .maxprocs = 8};
+//   auto pq = fpq::make_priority_queue<fpq::NativePlatform>(
+//       fpq::Algorithm::kFunnelTree, params);
+//   fpq::NativePlatform::run(8, [&](fpq::ProcId) {
+//     pq->insert(3, 42);
+//     auto e = pq->delete_min();
+//   });
+#pragma once
+
+#include "common/entry.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/registry.hpp"
+#include "platform/native.hpp"
+#include "platform/platform.hpp"
+#include "platform/sim.hpp"
+#include "pq/pq.hpp"

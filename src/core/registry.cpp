@@ -1,0 +1,47 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace fpq {
+
+std::string_view to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSingleLock: return "SingleLock";
+    case Algorithm::kHuntEtAl: return "HuntEtAl";
+    case Algorithm::kSkipList: return "SkipList";
+    case Algorithm::kSimpleLinear: return "SimpleLinear";
+    case Algorithm::kSimpleTree: return "SimpleTree";
+    case Algorithm::kLinearFunnels: return "LinearFunnels";
+    case Algorithm::kFunnelTree: return "FunnelTree";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_string(std::string_view name) {
+  for (Algorithm a : all_algorithms()) {
+    if (to_string(a) == name) return a;
+  }
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+const std::vector<Algorithm>& all_algorithms() {
+  static const std::vector<Algorithm> all = {
+      Algorithm::kSingleLock,   Algorithm::kHuntEtAl,      Algorithm::kSkipList,
+      Algorithm::kSimpleLinear, Algorithm::kSimpleTree,    Algorithm::kLinearFunnels,
+      Algorithm::kFunnelTree,
+  };
+  return all;
+}
+
+const std::vector<Algorithm>& scalable_algorithms() {
+  static const std::vector<Algorithm> four = {
+      Algorithm::kSimpleLinear,
+      Algorithm::kSimpleTree,
+      Algorithm::kLinearFunnels,
+      Algorithm::kFunnelTree,
+  };
+  return four;
+}
+
+} // namespace fpq

@@ -1,0 +1,68 @@
+// Algorithm registry: the seven queue algorithms the paper evaluates, a
+// name table, and a type-erased factory so benchmarks and examples can be
+// written once and swept over algorithms and platforms.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pq/funnel_tree_pq.hpp"
+#include "pq/hunt_pq.hpp"
+#include "pq/linear_funnels_pq.hpp"
+#include "pq/pq.hpp"
+#include "pq/simple_linear_pq.hpp"
+#include "pq/simple_tree_pq.hpp"
+#include "pq/single_lock_pq.hpp"
+#include "pq/skiplist_pq.hpp"
+
+namespace fpq {
+
+enum class Algorithm {
+  kSingleLock,
+  kHuntEtAl,
+  kSkipList,
+  kSimpleLinear,
+  kSimpleTree,
+  kLinearFunnels,
+  kFunnelTree,
+};
+
+/// Paper-faithful display names.
+std::string_view to_string(Algorithm a);
+
+/// Parses a display name (case-sensitive); throws std::invalid_argument.
+Algorithm algorithm_from_string(std::string_view name);
+
+/// All seven, in the paper's presentation order.
+const std::vector<Algorithm>& all_algorithms();
+
+/// The four algorithms the paper carries into its high-concurrency
+/// experiments (Figs. 7-9).
+const std::vector<Algorithm>& scalable_algorithms();
+
+template <Platform P>
+std::unique_ptr<IPriorityQueue<P>> make_priority_queue(Algorithm a,
+                                                       const PqParams& params,
+                                                       const FunnelOptions& opts = {}) {
+  switch (a) {
+    case Algorithm::kSingleLock:
+      return std::make_unique<PqAdapter<P, SingleLockPq<P>>>(params);
+    case Algorithm::kHuntEtAl:
+      return std::make_unique<PqAdapter<P, HuntPq<P>>>(params);
+    case Algorithm::kSkipList:
+      return std::make_unique<PqAdapter<P, SkipListPq<P>>>(params);
+    case Algorithm::kSimpleLinear:
+      return std::make_unique<PqAdapter<P, SimpleLinearPq<P>>>(params);
+    case Algorithm::kSimpleTree:
+      return std::make_unique<PqAdapter<P, SimpleTreePq<P>>>(params);
+    case Algorithm::kLinearFunnels:
+      return std::make_unique<PqAdapter<P, LinearFunnelsPq<P>>>(params, opts);
+    case Algorithm::kFunnelTree:
+      return std::make_unique<PqAdapter<P, FunnelTreePq<P>>>(params, opts);
+  }
+  FPQ_ASSERT_MSG(false, "unknown algorithm");
+  return nullptr;
+}
+
+} // namespace fpq

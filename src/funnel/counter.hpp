@@ -1,0 +1,354 @@
+// Combining-funnel shared counter, including the paper's novel *bounded*
+// fetch-and-decrement (Fig. 10 and Appendix A).
+//
+// A processor entering the funnel publishes a record and walks the layers:
+// it SWAPs its record into a random slot of the current layer, reads the
+// previous occupant, and tries to collide by CAS-locking first itself and
+// then the partner (both from <layer d> to EMPTY on their Location words).
+//
+//   * combine     — same-direction partner: sums merge, the partner becomes
+//                   a child and waits; the winner ascends a layer.
+//   * eliminate   — opposite-direction partner (bounded mode): both trees
+//                   complete with a single read of the central value
+//                   (Fig. 10 lines 12-18).
+//   * central     — after its attempts (or all layers) a processor CAS-es
+//                   the whole tree's sum into the central value, clamping
+//                   at the floor (lines 28-37).
+//   * distribute  — results flow down the combining tree (lines 39-47).
+//
+// Bounded operations do not commute, so bounded mode enforces the paper's
+// homogeneity rule (Appendix A): only equal-size trees of the same
+// operation combine, so a layer-d root always has |sum| = 2^d, and an
+// equal-but-opposite collision is a clean elimination whose interleaving
+// "inc, dec, inc, dec" gives every member of the dec tree the same return
+// value v and every member of the inc tree v-1.
+//
+// Configurations:
+//   plain   (bounded=false)           — classic combining-funnel
+//                                       fetch-and-add; combines any trees;
+//                                       never eliminates; never clamps.
+//   bounded (bounded=true)            — unbounded increments + decrements
+//                                       clamped at `floor` (what FunnelTree
+//                                       needs); `eliminate` can be toggled
+//                                       off for the ablation study.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "funnel/params.hpp"
+#include "platform/platform.hpp"
+#include "sync/backoff.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class FunnelCounter {
+ public:
+  struct Config {
+    bool bounded = true;
+    bool eliminate = true;
+    i64 floor = 0;
+    /// Optional upper bound for the analogous bounded-fetch-and-increment
+    /// (§3.3 mentions BFaI as the symmetric primitive; the priority queues
+    /// need only the floor).
+    i64 ceiling = kNoCeiling;
+  };
+
+  static constexpr i64 kNoCeiling = std::numeric_limits<i64>::max();
+
+  FunnelCounter(u32 maxprocs, const FunnelParams& params, Config cfg, i64 initial = 0)
+      : params_(params), cfg_(cfg), central_(initial) {
+    params_.validate();
+    FPQ_ASSERT(maxprocs >= 1);
+    records_.reserve(maxprocs);
+    for (u32 i = 0; i < maxprocs; ++i) records_.push_back(std::make_unique<Rec>());
+    layers_.resize(params_.levels);
+    for (u32 d = 0; d < params_.levels; ++d) {
+      layers_[d] = std::make_unique<Slot[]>(params_.width[d]);
+    }
+  }
+
+  /// Fetch-and-increment: returns the pre-operation value. Requires an
+  /// unbounded ceiling (use bfai on ceiling-bounded counters).
+  i64 fai() {
+    FPQ_ASSERT_MSG(cfg_.ceiling == kNoCeiling, "use bfai on a ceiling-bounded counter");
+    return apply(+1);
+  }
+
+  /// Bounded fetch-and-increment with the configured ceiling: increments
+  /// only if the value is below the ceiling; returns the pre-op value.
+  i64 bfai(i64 bound) {
+    FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.ceiling,
+                   "funnel counter is bound-specialized at construction");
+    return apply(+1);
+  }
+
+  /// Bounded fetch-and-decrement with the configured floor: decrements only
+  /// if the value is above the floor; returns the pre-operation value.
+  /// `bound` must equal the configured floor (kept as a parameter so the
+  /// counter is interchangeable with Cas/McsCounter in tree code).
+  i64 bfad(i64 bound) {
+    FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.floor,
+                   "funnel counter is bound-specialized at construction");
+    return apply(-1);
+  }
+
+  /// Plain fetch-and-add (plain configuration only; Fig. 5's baseline).
+  i64 faa(i64 delta) {
+    FPQ_ASSERT_MSG(!cfg_.bounded, "faa on a bounded funnel counter");
+    return apply(delta);
+  }
+
+  /// Unsynchronized read of the central value (quiescent use only).
+  i64 read() const { return central_.load(); }
+
+  /// Unsynchronized write of the central value. Only legal while no
+  /// operation is in flight (used by reactive wrappers when switching
+  /// representations).
+  void set_value(i64 v) { central_.store(v); }
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  static constexpr u64 kLocEmpty = 0;
+  static constexpr u32 kStEmpty = 0;
+  static constexpr u32 kStCount = 1;
+  static constexpr u32 kStElim = 2;
+  /// Handed to a captured partner we cannot serve (opposite trees with
+  /// elimination disabled): "you were not combined — rejoin the layer".
+  /// The partner rejoins by storing its own location, so it stays
+  /// uncapturable in between and no result can be clobbered.
+  static constexpr u32 kStRetry = 3;
+
+  struct alignas(kCacheLineBytes) Rec {
+    typename P::template Shared<u64> location{kLocEmpty};
+    typename P::template Shared<i64> sum{0};
+    typename P::template Shared<i64> result_value{0};
+    typename P::template Shared<u32> result_state{kStEmpty};
+    // Owner-local state (never touched by other processors). Adaption
+    // starts at the minimum: assume low load until collisions prove
+    // otherwise (the first contended op raises it immediately).
+    i64 own_delta = 0;
+    i64 local_sum = 0;
+    double adaption = 0.125;
+    std::vector<Rec*> children;
+  };
+
+  using Slot = typename P::template Shared<Rec*>;
+
+  static u64 loc(u32 depth) { return static_cast<u64>(depth) + 1; }
+
+  i64 apply(i64 delta) {
+    Rec& my = *records_[P::self()];
+    // Adaption (§3.1): a processor that has seen no collisions lately
+    // traverses zero combining layers — it applies its operation directly
+    // and only enters the funnel when the direct CAS loses a race. This is
+    // the "how many layers to traverse" half of the paper's adaption; the
+    // layer-width half is effective_width().
+    if (params_.adaptive && my.adaption <= params_.adapt_min * 1.01) {
+      Backoff<P> fast_backoff(8, 64);
+      for (u32 tries = 0; tries < 3; ++tries) {
+        i64 val = central_.load();
+        const i64 nv_fast = clamp(val + delta);
+        if (central_.compare_exchange(val, nv_fast)) return val;
+        fast_backoff.spin();
+      }
+      my.adaption = std::min(1.0, my.adaption * 2.0); // contention after all
+    }
+    my.own_delta = delta;
+    my.local_sum = delta;
+    my.children.clear();
+    my.result_state.store(kStEmpty);
+    my.sum.store(delta);
+    u32 d = 0;
+    my.location.store(loc(0));
+    bool collided = false;
+    Backoff<P> central_backoff(16, 2048);
+
+    for (;;) {
+      // ---- Collision attempts at layer d (Fig. 10 lines 5-27).
+      u32 n = 0;
+      while (n < params_.attempts && d < params_.levels) {
+        ++n;
+        const u32 wid = effective_width(my, d);
+        Rec* q = layers_[d][P::rnd(wid)].exchange(&my);
+        if (q != nullptr && q != &my) {
+          u64 mloc = loc(d);
+          if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+            if (auto r = finish_as_child(my, d)) return *r; // captured first
+            continue;                                       // told to retry
+          }
+          u64 qloc = loc(d);
+          if (q->location.compare_exchange(qloc, kLocEmpty)) {
+            const i64 qsum = q->sum.load();
+            if (cfg_.bounded && cfg_.eliminate && qsum == -my.local_sum) {
+              return eliminate_with(my, *q, qsum); // opposite equal trees
+            }
+            if (!cfg_.bounded || qsum == my.local_sum) {
+              // Combine: q's tree hangs under ours; ascend a layer.
+              my.local_sum += qsum;
+              my.sum.store(my.local_sum);
+              my.children.push_back(q);
+              collided = true;
+              ++d;
+              my.location.store(loc(d));
+              n = 0; // fresh attempt budget at the new layer (line 22)
+              continue;
+            }
+            // Incompatible trees (opposite signs, elimination off): we hold
+            // q captured and cannot serve it — tell it to rejoin the layer
+            // itself. Silently restoring q's location would race with q
+            // noticing the capture and waiting forever.
+            q->result_state.store(kStRetry);
+            my.location.store(loc(d));
+            continue;
+          }
+          // Failed to lock the partner; rejoin the layer (line 24).
+          my.location.store(loc(d));
+        }
+        // Wait to be captured for a while (lines 25-26).
+        for (u32 i = 0; i < params_.spin[d]; ++i) {
+          if (my.location.load() != loc(d)) {
+            if (auto r = finish_as_child(my, d)) return *r;
+            break; // retry: rejoin the attempts loop
+          }
+        }
+      }
+
+      // ---- Central attempt (lines 28-37).
+      u64 mloc = loc(d);
+      if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+        if (auto r = finish_as_child(my, d)) return *r;
+        continue;
+      }
+      i64 val = central_.load();
+      const i64 nv = clamp(val + my.local_sum);
+      if (central_.compare_exchange(val, nv)) {
+        adapt(my, collided);
+        distribute(my, kStCount, val);
+        return val;
+      }
+      my.location.store(loc(d)); // lost the race; rejoin the funnel
+      // Randomized backoff keeps failed central CAS-ers from convoying
+      // (while waiting in the layer they remain capturable).
+      central_backoff.spin();
+      if (my.location.load() != loc(d)) {
+        if (auto r = finish_as_child(my, d)) return *r;
+      }
+    }
+  }
+
+  /// Elimination (Fig. 10 lines 12-18): both trees complete using one read
+  /// of the central value. Every member of the decrementing tree returns v
+  /// (adjusted up off the floor), every member of the incrementing tree
+  /// v-1 — the interleaving "inc, dec, inc, dec, ..." made explicit.
+  i64 eliminate_with(Rec& my, Rec& q, i64 qsum) {
+    i64 v = central_.load();
+    if (v == cfg_.floor) v += 1; // line 14: the leading op must be the inc
+    const i64 my_base = my.local_sum < 0 ? v : v - 1;
+    const i64 q_base = qsum < 0 ? v : v - 1;
+    q.result_value.store(q_base);
+    q.result_state.store(kStElim);
+    adapt(my, true);
+    distribute(my, kStElim, my_base);
+    return my_base;
+  }
+
+  /// Waits for the capturer's verdict. Returns the operation's result, or
+  /// nullopt if the capturer could not serve us (kStRetry) — in that case
+  /// this rejoins layer `d` before returning, so the caller just continues.
+  std::optional<i64> finish_as_child(Rec& my, u32 d) {
+    const u32 st = P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
+    if (st == kStRetry) {
+      my.result_state.store(kStEmpty);
+      my.location.store(loc(d)); // rejoin; we were uncapturable meanwhile
+      return std::nullopt;
+    }
+    const i64 base = my.result_value.load();
+    adapt(my, true); // being captured is a successful collision too
+    distribute(my, st, base);
+    return base;
+  }
+
+  /// Hands each child subtree its position in the operation sequence
+  /// (Fig. 10 lines 41-47, with the floor clamp folded into the sequence).
+  void distribute(Rec& my, u32 event, i64 base) {
+    if (my.children.empty()) return;
+    if (event == kStElim) {
+      for (Rec* c : my.children) {
+        c->result_value.store(base);
+        c->result_state.store(kStElim);
+      }
+      return;
+    }
+    if (!cfg_.bounded) {
+      i64 running = my.own_delta;
+      for (Rec* c : my.children) {
+        const i64 csum = c->sum.load();
+        c->result_value.store(base + running);
+        c->result_state.store(kStCount);
+        running += csum;
+      }
+      return;
+    }
+    // Bounded: homogeneous tree, all deltas share my.own_delta's sign.
+    const bool decrementing = my.own_delta < 0;
+    u64 steps = 1; // my own operation comes first
+    for (Rec* c : my.children) {
+      const u64 csize = static_cast<u64>(std::llabs(c->sum.load()));
+      c->result_value.store(advance(base, steps, decrementing));
+      c->result_state.store(kStCount);
+      steps += csize;
+    }
+  }
+
+  /// Value of the counter after `steps` same-direction ops starting at
+  /// `base`: clamped at the floor for decrements, at the ceiling for
+  /// increments.
+  i64 advance(i64 base, u64 steps, bool decrementing) const {
+    const i64 s = static_cast<i64>(steps);
+    if (decrementing) {
+      const i64 v = base - s;
+      return cfg_.bounded && v < cfg_.floor ? cfg_.floor : v;
+    }
+    const i64 v = base + s;
+    return cfg_.bounded && v > cfg_.ceiling ? cfg_.ceiling : v;
+  }
+
+  i64 clamp(i64 v) const {
+    if (!cfg_.bounded) return v;
+    if (v < cfg_.floor) return cfg_.floor;
+    if (v > cfg_.ceiling) return cfg_.ceiling;
+    return v;
+  }
+
+  u32 effective_width(Rec& my, u32 d) const {
+    const u32 full = params_.width[d];
+    if (!params_.adaptive) return full;
+    const u32 w = static_cast<u32>(my.adaption * full);
+    return w >= 1 ? w : 1;
+  }
+
+  void adapt(Rec& my, bool collided) {
+    if (!params_.adaptive) return;
+    if (collided)
+      my.adaption = std::min(1.0, my.adaption * 1.5);
+    else
+      my.adaption = std::max(params_.adapt_min, my.adaption * 0.75);
+  }
+
+  FunnelParams params_;
+  Config cfg_;
+  typename P::template Shared<i64> central_;
+  std::vector<std::unique_ptr<Rec>> records_;
+  std::vector<std::unique_ptr<Slot[]>> layers_;
+};
+
+} // namespace fpq

@@ -1,0 +1,59 @@
+// Tuning parameters of a combining funnel (Shavit & Zemach '98; paper
+// §3.1). The paper selected one parameter set by a preliminary sweep at 256
+// processors and used it for all funnels; for_procs() plays that role here
+// and bench/ablation_funnel_cutoff re-derives the sensitivity.
+#pragma once
+
+#include <array>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+inline constexpr u32 kMaxFunnelLevels = 6;
+
+struct FunnelParams {
+  /// Number of combining layers a processor traverses before applying its
+  /// operation to the central object. Tree size is bounded by 2^levels.
+  u32 levels = 2;
+  /// Width (slot count) of each layer.
+  std::array<u32, kMaxFunnelLevels> width{8, 4, 2, 1, 1, 1};
+  /// Collision attempts per layer before trying the central object.
+  u32 attempts = 3;
+  /// Post-attempt delay (in location re-checks) waiting to be captured.
+  std::array<u32, kMaxFunnelLevels> spin{8, 16, 32, 64, 64, 64};
+  /// Width adaption (§3.1): processors locally scale the slot-choice width
+  /// by a factor in [adapt_min, 1] tracking observed collision success.
+  bool adaptive = true;
+  double adapt_min = 0.125;
+
+  void validate() const {
+    FPQ_ASSERT_MSG(levels <= kMaxFunnelLevels, "too many funnel levels");
+    for (u32 d = 0; d < levels; ++d) FPQ_ASSERT_MSG(width[d] >= 1, "zero-width layer");
+    FPQ_ASSERT_MSG(attempts >= 1, "attempts must be positive");
+    FPQ_ASSERT_MSG(adapt_min > 0.0 && adapt_min <= 1.0, "adapt_min out of (0,1]");
+  }
+
+  /// The parameter set used throughout the reproduction, scaled to the
+  /// expected concurrency level (the paper's preliminary 256-processor
+  /// sweep fixed one set; this generalizes it downward).
+  static FunnelParams for_procs(u32 nprocs) {
+    FunnelParams p;
+    if (nprocs >= 128)
+      p.levels = 3;
+    else if (nprocs >= 32)
+      p.levels = 2;
+    else
+      p.levels = 1;
+    p.attempts = 4;
+    for (u32 d = 0; d < kMaxFunnelLevels; ++d) {
+      const u32 w = nprocs >> (d + 2);
+      p.width[d] = w >= 1 ? w : 1;
+      p.spin[d] = 16u << d; // wait longer at deeper layers: capture is likely
+    }
+    return p;
+  }
+};
+
+} // namespace fpq

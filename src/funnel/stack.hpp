@@ -1,0 +1,341 @@
+// Combining-funnel stack — the "bin" of the funnel-based priority queues
+// (paper §3.2; elimination from Shavit & Touitou '95, funnels from Shavit &
+// Zemach '98). Same collision skeleton as FunnelCounter, specialized:
+//
+//   * push trees carry their items up the combining tree (a parent copies a
+//     captured child subtree's items into its own buffer);
+//   * pop trees carry counts up and items back down (a parent serves each
+//     child subtree its slice of the popped batch);
+//   * a push tree colliding with an equal-size pop tree eliminates: the
+//     poppers consume the pushers' items without touching the central
+//     stack (this is what makes funnel bins win at high load);
+//   * surviving batches apply to a central array stack in one short TTAS
+//     critical section.
+//
+// The homogeneity rule (equal-size, same-operation trees only) is reused
+// from the bounded counter so elimination is always an exact 1:1 match.
+//
+// bin-empty is a single read of the central size word — the property
+// LinearFunnels' delete-min scan depends on (§3.2).
+//
+// Like the paper's stacks, equal-priority items come out LIFO by default,
+// which "can cause unfairness (and even starvation) among items of equal
+// priority" (§3.2). The paper's suggested remedy is implemented as
+// BinOrder::kFifo: the *hybrid* structure that still eliminates in the
+// funnel but stores surviving batches in a central FIFO ring, so items of
+// equal priority that reach the central store come out in arrival order.
+//
+// Pops that find the central store short return nullopt. Items must not
+// equal kNoEntry (reserved as the "no item" sentinel). Pushing beyond
+// `capacity` fails the whole batch, which the queue surfaces as
+// insert() == false.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/entry.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "funnel/params.hpp"
+#include "platform/platform.hpp"
+#include "sync/mcs_lock.hpp"
+
+namespace fpq {
+
+/// Order of the central item store behind the funnel.
+enum class BinOrder : u8 {
+  kLifo, // array stack — the paper's default bins
+  kFifo, // ring queue — the paper's fairness hybrid (§3.2)
+};
+
+template <Platform P>
+class FunnelStack {
+ public:
+  FunnelStack(u32 maxprocs, const FunnelParams& params, u32 capacity,
+              bool eliminate = true, BinOrder order = BinOrder::kLifo)
+      : params_(params), eliminate_(eliminate), order_(order), lock_(maxprocs),
+        cells_(capacity) {
+    params_.validate();
+    FPQ_ASSERT(maxprocs >= 1 && capacity >= 1);
+    const u32 batch = max_batch();
+    records_.reserve(maxprocs);
+    for (u32 i = 0; i < maxprocs; ++i) records_.push_back(std::make_unique<Rec>(batch));
+    layers_.resize(params_.levels);
+    for (u32 d = 0; d < params_.levels; ++d)
+      layers_[d] = std::make_unique<Slot[]>(params_.width[d]);
+  }
+
+  /// Pushes one item. Returns false when the central stack is full (the
+  /// entire combined batch is refused, so callers see a consistent signal).
+  bool push(Item v) {
+    FPQ_ASSERT_MSG(v != kNoEntry, "item value reserved as sentinel");
+    Rec& my = *records_[P::self()];
+    my.buf[0].store(v);
+    const u64 r = apply(my, /*delta=*/+1);
+    return r != kFullResult;
+  }
+
+  /// Pops one item, or nullopt when the stack has none to give.
+  std::optional<Item> pop() {
+    Rec& my = *records_[P::self()];
+    const u64 r = apply(my, /*delta=*/-1);
+    if (r == kNoEntry) return std::nullopt;
+    return r;
+  }
+
+  /// One shared read (bin-empty of Fig. 1 / §3.2).
+  bool empty() const { return size_.load() == 0; }
+  u64 size() const { return size_.load(); }
+  u32 capacity() const { return static_cast<u32>(cells_.size()); }
+  BinOrder order() const { return order_; }
+
+ private:
+  static constexpr u64 kLocEmpty = 0;
+  static constexpr u32 kStEmpty = 0;
+  static constexpr u32 kStPushed = 1;  // push batch applied (or eliminated)
+  static constexpr u32 kStPopped = 2;  // items (or sentinels) are in my buf
+  static constexpr u32 kStFull = 3;    // push batch refused: stack full
+  static constexpr u32 kStRetry = 4;   // capturer could not serve us; rejoin
+  static constexpr u64 kNoItem = kNoEntry;
+  /// push() internal marker distinct from any item/sentinel result of pop.
+  static constexpr u64 kFullResult = kNoEntry - 1;
+  static constexpr u64 kPushedResult = kNoEntry - 2;
+
+  struct alignas(kCacheLineBytes) Rec {
+    explicit Rec(u32 batch) : buf(std::make_unique<typename P::template Shared<u64>[]>(batch)) {}
+    typename P::template Shared<u64> location{kLocEmpty};
+    typename P::template Shared<i64> sum{0};
+    typename P::template Shared<u32> result_state{kStEmpty};
+    /// Subtree item buffer: push trees accumulate items here on the way up;
+    /// pop trees receive their slice here on the way down.
+    std::unique_ptr<typename P::template Shared<u64>[]> buf;
+    // Owner-local state; adaption starts low (assume no load until the
+    // lock or layers say otherwise).
+    i64 local_sum = 0;
+    double adaption = 0.125;
+    std::vector<Rec*> children;
+  };
+
+  /// Central-lock acquisition above this is read as contention.
+  static constexpr Cycles kFastPathBudget = 300;
+
+  using Slot = typename P::template Shared<Rec*>;
+
+  u32 max_batch() const { return 1u << params_.levels; }
+  static u64 loc(u32 depth) { return static_cast<u64>(depth) + 1; }
+  static u64 tree_size(i64 sum) { return static_cast<u64>(std::llabs(sum)); }
+
+  /// Runs the funnel for one push (+1) or pop (-1). Returns:
+  ///   pop  — the item, or kNoItem;
+  ///   push — kPushedResult on success, kFullResult when refused.
+  u64 apply(Rec& my, i64 delta) {
+    my.local_sum = delta;
+    my.children.clear();
+    // Adaption (§3.1): under low observed load, skip the funnel and apply
+    // the single-op batch directly under the central lock; a slow
+    // acquisition is the contention signal that re-opens the funnel.
+    if (params_.adaptive && my.adaption <= params_.adapt_min * 1.01) {
+      const Cycles t0 = P::now();
+      const u64 r = central_apply(my);
+      // Budget scales with batch size 1; a slow acquisition means waiters.
+      if (P::now() - t0 > kFastPathBudget)
+        my.adaption = std::min(1.0, my.adaption * 1.5);
+      return r;
+    }
+    my.result_state.store(kStEmpty);
+    my.sum.store(delta);
+    u32 d = 0;
+    my.location.store(loc(0));
+    bool collided = false;
+
+    for (;;) {
+      u32 n = 0;
+      while (n < params_.attempts && d < params_.levels) {
+        ++n;
+        const u32 wid = effective_width(my, d);
+        Rec* q = layers_[d][P::rnd(wid)].exchange(&my);
+        if (q != nullptr && q != &my) {
+          u64 mloc = loc(d);
+          if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+            if (auto r = finish_as_child(my, d)) return *r;
+            continue; // told to retry; we already rejoined the layer
+          }
+          u64 qloc = loc(d);
+          if (q->location.compare_exchange(qloc, kLocEmpty)) {
+            const i64 qsum = q->sum.load();
+            if (eliminate_ && qsum == -my.local_sum) return eliminate_with(my, *q);
+            if (qsum == my.local_sum) {
+              combine_with(my, *q);
+              collided = true;
+              ++d;
+              my.location.store(loc(d));
+              n = 0;
+              continue;
+            }
+            // Opposite trees with elimination off: hand the captured
+            // partner an explicit retry (see counter.hpp for the race this
+            // avoids).
+            q->result_state.store(kStRetry);
+            my.location.store(loc(d));
+            continue;
+          }
+          my.location.store(loc(d));
+        }
+        for (u32 i = 0; i < params_.spin[d]; ++i) {
+          if (my.location.load() != loc(d)) {
+            if (auto r = finish_as_child(my, d)) return *r;
+            break; // retry: rejoin the attempts loop
+          }
+        }
+      }
+
+      u64 mloc = loc(d);
+      if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+        if (auto r = finish_as_child(my, d)) return *r;
+        continue;
+      }
+      const u64 r = central_apply(my);
+      adapt(my, collided);
+      return r;
+    }
+  }
+
+  /// Merges the captured same-operation subtree into ours.
+  void combine_with(Rec& my, Rec& q) {
+    const u64 mine = tree_size(my.local_sum);
+    const u64 theirs = tree_size(q.sum.load());
+    if (my.local_sum > 0) {
+      // Push tree: pull q's items up into our buffer.
+      FPQ_ASSERT(mine + theirs <= max_batch());
+      for (u64 i = 0; i < theirs; ++i) my.buf[mine + i].store(q.buf[i].load());
+    }
+    my.local_sum += q.sum.load();
+    my.sum.store(my.local_sum);
+    my.children.push_back(&q);
+  }
+
+  /// Equal-size push tree meets pop tree: the poppers consume the pushers'
+  /// items; nobody touches the central stack.
+  u64 eliminate_with(Rec& my, Rec& q) {
+    const u64 k = tree_size(my.local_sum);
+    Rec& pusher = my.local_sum > 0 ? my : q;
+    Rec& popper = my.local_sum > 0 ? q : my;
+    for (u64 i = 0; i < k; ++i) popper.buf[i].store(pusher.buf[i].load());
+    adapt(my, true);
+    if (&popper == &q) {
+      q.result_state.store(kStPopped);
+      distribute_push(my, kStPushed);
+      return kPushedResult;
+    }
+    q.result_state.store(kStPushed);
+    return distribute_pop(my);
+  }
+
+  /// Applies the whole tree's batch to the central store and distributes.
+  /// The store is a ring addressed by monotone produce/consume counters;
+  /// LIFO pops consume from the produce end, FIFO pops from the consume
+  /// end. The separate size word keeps bin-empty a single read.
+  u64 central_apply(Rec& my) {
+    const u64 k = tree_size(my.local_sum);
+    const u64 cap = cells_.size();
+    if (my.local_sum > 0) {
+      bool full = false;
+      {
+        McsGuard<P> g(lock_);
+        const u64 n = size_.load();
+        if (n + k > cap) {
+          full = true;
+        } else {
+          const u64 t = tail_.load();
+          for (u64 i = 0; i < k; ++i) cells_[(t + i) % cap].store(my.buf[i].load());
+          tail_.store(t + k);
+          size_.store(n + k);
+        }
+      }
+      distribute_push(my, full ? kStFull : kStPushed);
+      return full ? kFullResult : kPushedResult;
+    }
+    {
+      McsGuard<P> g(lock_);
+      const u64 n = size_.load();
+      const u64 m = n < k ? n : k;
+      if (order_ == BinOrder::kLifo) {
+        const u64 t = tail_.load();
+        for (u64 i = 0; i < m; ++i) my.buf[i].store(cells_[(t - 1 - i) % cap].load());
+        tail_.store(t - m);
+      } else {
+        const u64 h = head_.load();
+        for (u64 i = 0; i < m; ++i) my.buf[i].store(cells_[(h + i) % cap].load());
+        head_.store(h + m);
+      }
+      size_.store(n - m);
+      for (u64 i = m; i < k; ++i) my.buf[i].store(kNoItem);
+    }
+    return distribute_pop(my);
+  }
+
+  /// Waits for the capturer's verdict; nullopt means "rejoin layer d and
+  /// keep trying" (the record has already re-entered the layer).
+  std::optional<u64> finish_as_child(Rec& my, u32 d) {
+    const u32 st =
+        P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
+    if (st == kStRetry) {
+      my.result_state.store(kStEmpty);
+      my.location.store(loc(d));
+      return std::nullopt;
+    }
+    adapt(my, true);
+    if (st == kStPopped) return distribute_pop(my);
+    distribute_push(my, st);
+    return st == kStFull ? kFullResult : kPushedResult;
+  }
+
+  void distribute_push(Rec& my, u32 state) {
+    for (Rec* c : my.children) c->result_state.store(state);
+  }
+
+  /// my.buf holds tree_size items/sentinels; slice them out to the child
+  /// subtrees in capture order and return my own (buf[0]).
+  u64 distribute_pop(Rec& my) {
+    u64 off = 1;
+    for (Rec* c : my.children) {
+      const u64 csize = tree_size(c->sum.load());
+      for (u64 i = 0; i < csize; ++i) c->buf[i].store(my.buf[off + i].load());
+      c->result_state.store(kStPopped);
+      off += csize;
+    }
+    return my.buf[0].load();
+  }
+
+  u32 effective_width(Rec& my, u32 d) const {
+    const u32 full = params_.width[d];
+    if (!params_.adaptive) return full;
+    const u32 w = static_cast<u32>(my.adaption * full);
+    return w >= 1 ? w : 1;
+  }
+
+  void adapt(Rec& my, bool collided) {
+    if (!params_.adaptive) return;
+    if (collided)
+      my.adaption = std::min(1.0, my.adaption * 1.5);
+    else
+      my.adaption = std::max(params_.adapt_min, my.adaption * 0.75);
+  }
+
+  FunnelParams params_;
+  bool eliminate_;
+  BinOrder order_;
+  McsLock<P> lock_;
+  typename P::template Shared<u64> head_{0}; // consumed count (FIFO end)
+  typename P::template Shared<u64> tail_{0}; // produced count
+  typename P::template Shared<u64> size_{0}; // tail - head, for 1-read empty
+  std::vector<typename P::template Shared<u64>> cells_;
+  std::vector<std::unique_ptr<Rec>> records_;
+  std::vector<std::unique_ptr<Slot[]>> layers_;
+};
+
+} // namespace fpq

@@ -1,0 +1,79 @@
+// NativePlatform: the Platform policy over std::atomic and std::thread.
+// Used for correctness testing under real concurrency and for the native
+// component benchmarks; the paper-scale experiments use SimPlatform.
+#pragma once
+
+#include <atomic>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+template <SharedWord T>
+class NativeShared {
+ public:
+  NativeShared() : v_{} {}
+  explicit NativeShared(T v) : v_(v) {}
+  NativeShared(const NativeShared&) = delete;
+  NativeShared& operator=(const NativeShared&) = delete;
+
+  T load() const { return v_.load(std::memory_order_seq_cst); }
+  void store(T v) { v_.store(v, std::memory_order_seq_cst); }
+  T exchange(T nv) { return v_.exchange(nv, std::memory_order_seq_cst); }
+  bool compare_exchange(T& expected, T desired) {
+    return v_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
+  }
+  T fetch_add(T d)
+    requires std::integral<T>
+  {
+    return v_.fetch_add(d, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+struct NativePlatform {
+  template <class T>
+  using Shared = NativeShared<T>;
+
+  static constexpr bool kSimulated = false;
+
+  /// Runs fn(ProcId) on `nprocs` OS threads, started together behind a
+  /// barrier. Rethrows the first exception a worker threw.
+  static void run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 seed = 1);
+
+  static ProcId self();
+  static u32 nprocs();
+  /// steady_clock nanoseconds; the unit benchmarks report for this backend.
+  static Cycles now();
+  /// Local work: an abstract-work spin of `c` iterations.
+  static void delay(Cycles c);
+  /// Spin hint. On oversubscribed machines forward progress of the lock
+  /// holder matters more than latency, so this yields the OS thread.
+  static void pause();
+  static u64 rnd(u64 bound);
+  static bool flip();
+
+  /// Binds the calling thread to a processor id without run() — for
+  /// embedding in external thread pools (e.g. google-benchmark's
+  /// ->Threads(n) workers). Pair with release().
+  static void adopt(ProcId id, u32 nprocs, u64 seed = 1);
+  static void release();
+
+  template <SharedWord T, class Pred>
+  static T spin_until(const Shared<T>& w, Pred pred) {
+    for (;;) {
+      T v = w.load();
+      if (pred(v)) return v;
+      pause();
+    }
+  }
+};
+
+static_assert(Platform<NativePlatform>);
+
+} // namespace fpq

@@ -1,0 +1,53 @@
+// The Platform policy: the contract every concurrent algorithm in this
+// library is written against. Two implementations exist —
+//
+//   * SimPlatform    (platform/sim.hpp)    — the paper's evaluation vehicle:
+//     a simulated Alewife-like ccNUMA; latencies are modeled cycles.
+//   * NativePlatform (platform/native.hpp) — std::atomic + std::thread;
+//     latencies are steady_clock nanoseconds.
+//
+// A Platform P provides:
+//
+//   P::Shared<T>   — a single shared word (T trivially copyable, <= 8 bytes,
+//                    equality comparable) with:
+//                      T    load() const;
+//                      void store(T);
+//                      T    exchange(T);
+//                      bool compare_exchange(T& expected, T desired);
+//                      T    fetch_add(T)      (integral T only)
+//   P::run(nprocs, fn, seed)  — execute fn(ProcId) on nprocs processors.
+//   P::self() / P::nprocs()   — processor identity within a run.
+//   P::now()                  — monotone per-processor clock.
+//   P::delay(cycles)          — local work, no memory traffic.
+//   P::pause()                — spin-loop politeness hint.
+//   P::spin_until(word, pred) — repeatedly read `word` until pred(value);
+//                               the simulator parks the fiber until the
+//                               word is written, like spinning on a cached
+//                               line; native backends spin-and-pause.
+//   P::rnd(bound) / P::flip() — deterministic per-processor randomness.
+//   P::kSimulated             — constexpr bool.
+//
+// Shared data may only be reached through P::Shared<T>; everything else an
+// algorithm touches must be processor-local or immutable after
+// construction (Core Guidelines CP.2/CP.3). All Shared operations are
+// sequentially consistent.
+#pragma once
+
+#include <concepts>
+#include <type_traits>
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+template <class T>
+concept SharedWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
+                     std::equality_comparable<T>;
+
+template <class P>
+concept Platform = requires {
+  { P::kSimulated } -> std::convertible_to<bool>;
+  typename P::template Shared<u64>;
+};
+
+} // namespace fpq

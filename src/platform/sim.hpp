@@ -1,0 +1,119 @@
+// SimPlatform: the Platform policy backed by the discrete-event ccNUMA
+// simulator (src/sim). All operations are free function calls into the
+// engine owned by the enclosing SimPlatform::run / sim::Engine::run; when
+// invoked outside a simulated processor (setup, teardown, verification)
+// the data effect still happens but no time is charged.
+#pragma once
+
+#include <functional>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace fpq {
+
+template <SharedWord T>
+class SimShared {
+ public:
+  SimShared() : v_{} {}
+  explicit SimShared(T v) : v_(v) {}
+  SimShared(const SimShared&) = delete;
+  SimShared& operator=(const SimShared&) = delete;
+
+  T load() const {
+    T v = v_;
+    touch(sim::AccessKind::Read);
+    return v;
+  }
+
+  void store(T v) {
+    v_ = v;
+    touch(sim::AccessKind::Write);
+  }
+
+  T exchange(T nv) {
+    T old = v_;
+    v_ = nv;
+    touch(sim::AccessKind::Rmw);
+    return old;
+  }
+
+  bool compare_exchange(T& expected, T desired) {
+    const bool ok = (v_ == expected);
+    if (ok)
+      v_ = desired;
+    else
+      expected = v_;
+    // A failed CAS still costs a round trip for exclusive ownership.
+    touch(sim::AccessKind::Rmw);
+    return ok;
+  }
+
+  T fetch_add(T d)
+    requires std::integral<T>
+  {
+    T old = v_;
+    v_ = static_cast<T>(old + d);
+    touch(sim::AccessKind::Rmw);
+    return old;
+  }
+
+ private:
+  friend struct SimPlatform;
+
+  void touch(sim::AccessKind k) const {
+    if (sim::Engine* e = sim::Engine::current()) e->on_access(&v_, k);
+  }
+  const void* word_addr() const { return &v_; }
+
+  T v_;
+};
+
+struct SimPlatform {
+  template <class T>
+  using Shared = SimShared<T>;
+
+  static constexpr bool kSimulated = true;
+
+  /// Runs fn(ProcId) on `nprocs` simulated processors of a fresh machine.
+  static void run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 seed = 1,
+                  sim::MachineParams params = {}) {
+    sim::Engine engine(nprocs, params, seed);
+    engine.run(fn);
+  }
+
+  static sim::Engine& engine() {
+    sim::Engine* e = sim::Engine::current();
+    FPQ_ASSERT_MSG(e != nullptr, "SimPlatform used outside a simulation");
+    return *e;
+  }
+
+  static ProcId self() { return engine().self(); }
+  static u32 nprocs() { return engine().nprocs(); }
+  static Cycles now() { return engine().now(); }
+  static void delay(Cycles c) { engine().delay(c); }
+  static void pause() { engine().pause(); }
+  static u64 rnd(u64 bound) { return engine().rng().below(bound); }
+  static bool flip() { return engine().rng().flip(); }
+
+  /// Spin on a shared word until pred(value). The fiber is parked on the
+  /// word's directory line between checks; a version counter closes the
+  /// check-then-park race (see Engine::wait_on).
+  template <SharedWord T, class Pred>
+  static T spin_until(const Shared<T>& w, Pred pred) {
+    sim::Engine& e = engine();
+    for (;;) {
+      const u64 ver = e.line_version(w.word_addr());
+      T v = w.load();
+      if (pred(v)) return v;
+      e.wait_on(w.word_addr(), ver);
+    }
+  }
+};
+
+static_assert(Platform<SimPlatform>);
+
+} // namespace fpq

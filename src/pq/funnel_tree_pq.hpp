@@ -1,0 +1,106 @@
+// FunnelTree (paper §3.2) — the paper's headline algorithm. SimpleTree's
+// skeleton with the hot spots replaced:
+//
+//   * internal counters in the top `tree_cutoff` levels (where all the
+//     traffic concentrates) are combining-funnel bounded counters, so
+//     descending BFaDs combine/eliminate with climbing FaIs instead of
+//     serializing;
+//   * deeper counters see exponentially less traffic and use MCS-locked
+//     counters (the paper measured ~5% cost for this cut-off vs letting
+//     adaptive funnels shrink on their own — bench/ablation_funnel_cutoff
+//     reproduces that comparison);
+//   * leaf bins are combining-funnel stacks.
+//
+// Quiescently consistent: delete_min may return nullopt when overlapping
+// inserts have not finished publishing counts (see simple_tree_pq.hpp).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "container/counters.hpp"
+#include "funnel/counter.hpp"
+#include "funnel/params.hpp"
+#include "funnel/stack.hpp"
+#include "pq/linear_funnels_pq.hpp" // FunnelOptions
+#include "pq/pq.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class FunnelTreePq {
+ public:
+  explicit FunnelTreePq(const PqParams& params, const FunnelOptions& opts = {})
+      : npriorities_(params.npriorities),
+        nleaves_(round_up_pow2(params.npriorities)) {
+    params.validate();
+    const FunnelParams fp = opts.params ? *opts.params
+                                        : FunnelParams::for_procs(params.maxprocs);
+    const typename FunnelCounter<P>::Config ctr_cfg{/*bounded=*/true,
+                                                    opts.eliminate, /*floor=*/0};
+    funnel_counters_.resize(nleaves_);
+    mcs_counters_.resize(nleaves_);
+    for (u32 n = 1; n < nleaves_; ++n) {
+      if (floor_log2(n) < opts.tree_cutoff)
+        funnel_counters_[n] =
+            std::make_unique<FunnelCounter<P>>(params.maxprocs, fp, ctr_cfg, 0);
+      else
+        mcs_counters_[n] = std::make_unique<McsCounter<P>>(params.maxprocs, 0);
+    }
+    stacks_.reserve(npriorities_);
+    for (u32 i = 0; i < npriorities_; ++i)
+      stacks_.push_back(std::make_unique<FunnelStack<P>>(
+          params.maxprocs, fp, params.bin_capacity, opts.eliminate, opts.bin_order));
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    if (!stacks_[prio]->push(item)) return false;
+    for (u32 n = nleaves_ + prio; n > 1; n >>= 1) {
+      if ((n & 1) == 0) fai(n >> 1);
+    }
+    return true;
+  }
+
+  std::optional<Entry> delete_min() {
+    u32 n = 1;
+    while (n < nleaves_) {
+      const i64 before = bfad(n);
+      n = (n << 1) | (before > 0 ? 0u : 1u);
+    }
+    const u32 prio = n - nleaves_;
+    if (prio >= npriorities_) return std::nullopt; // padding leaf
+    if (auto e = stacks_[prio]->pop()) return Entry{prio, *e};
+    return std::nullopt;
+  }
+
+  u32 npriorities() const { return npriorities_; }
+  u32 nleaves() const { return nleaves_; }
+
+  /// Test hook: counter value at heap node `n` (quiescent use only).
+  i64 counter_value(u32 n) const {
+    return funnel_counters_[n] ? funnel_counters_[n]->read() : mcs_counters_[n]->read();
+  }
+
+ private:
+  void fai(u32 n) {
+    if (funnel_counters_[n])
+      funnel_counters_[n]->fai();
+    else
+      mcs_counters_[n]->fai();
+  }
+
+  i64 bfad(u32 n) {
+    return funnel_counters_[n] ? funnel_counters_[n]->bfad(0) : mcs_counters_[n]->bfad(0);
+  }
+
+  u32 npriorities_;
+  u32 nleaves_;
+  std::vector<std::unique_ptr<FunnelCounter<P>>> funnel_counters_;
+  std::vector<std::unique_ptr<McsCounter<P>>> mcs_counters_;
+  std::vector<std::unique_ptr<FunnelStack<P>>> stacks_;
+};
+
+} // namespace fpq

@@ -1,0 +1,251 @@
+// HuntEtAl (Hunt, Michael, Parthasarathy & Scott, IPL '96; paper Fig. 11,
+// right): a concurrent array heap with
+//
+//   * a single short-lived heap lock protecting only the size counter and
+//     the choice of the slot to fill/empty,
+//   * one lock per heap node, taken hand-over-hand,
+//   * insertions that walk *bottom-up* while deletions sift *top-down*
+//     (increasing parallelism), and
+//   * bit-reversed slot selection so consecutive insertions climb along
+//     disjoint root paths.
+//
+// Each node carries a tag: kEmpty (no item), kAvail (item in its final
+// heap position), or the id-tag of the inserting processor while the item
+// is still climbing. Deleters may relocate a climbing item; its owner
+// detects this ("tag is no longer mine") and chases the item up the tree.
+// Linearizable; the heap lock is the serial bottleneck the paper measures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/entry.hpp"
+#include "pq/pq.hpp"
+#include "sync/backoff.hpp"
+#include "sync/mcs_lock.hpp"
+#include "sync/ttas_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class HuntPq {
+ public:
+  explicit HuntPq(const PqParams& params)
+      : npriorities_(params.npriorities),
+        capacity_(params.heap_capacity),
+        heap_lock_(params.maxprocs),
+        // Bit-reversed slots are not a contiguous prefix: with n items the
+        // occupied slots reach to the end of the last (partial) level, so
+        // the array must cover that whole level.
+        nodes_(2 * round_up_pow2(params.heap_capacity + 1)) {
+    params.validate();
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    const u64 packed = pack_entry({prio, item});
+    const u64 mytag = tag_of(P::self());
+
+    heap_lock_.acquire();
+    u64 n = size_.load();
+    if (n >= capacity_) {
+      heap_lock_.release();
+      return false;
+    }
+    ++n;
+    size_.store(n);
+    u64 i = bit_reversed(n);
+    nodes_[i].lock.acquire();
+    heap_lock_.release();
+    nodes_[i].entry.store(packed);
+    nodes_[i].tag.store(mytag);
+    nodes_[i].lock.release();
+
+    // Climb toward the root until the item reaches heap order. The item can
+    // be moved by concurrent operations: deleters swap climbing items up
+    // during sift-down and may even consume them as the "last element".
+    Backoff<P> backoff;
+    while (i > 1) {
+      const u64 par = i >> 1;
+      nodes_[par].lock.acquire();
+      nodes_[i].lock.acquire();
+      const u64 tpar = nodes_[par].tag.load();
+      const u64 ti = nodes_[i].tag.load();
+      u64 next = i;
+      if (ti == mytag) {
+        if (tpar == kAvail) {
+          if (nodes_[i].entry.load() < nodes_[par].entry.load()) {
+            swap_nodes(par, i);
+            next = par;
+          } else {
+            nodes_[i].tag.store(kAvail);
+            next = 0; // settled
+          }
+        }
+        // else retry: the parent is either another climbing item (its owner
+        // will settle it) or a slot that was just claimed and is about to be
+        // filled. Stopping here would strand our pid tag — an item only
+        // stops being ours through the kAvail path or a deleter moving it.
+      } else {
+        // Our item was swapped upward by a deleter's sift (or consumed as a
+        // "last element"); chase toward the root, which finishes the job if
+        // the item is still climbing and is a no-op if it was consumed.
+        next = par;
+      }
+      nodes_[i].lock.release();
+      nodes_[par].lock.release();
+      // Randomized backoff before retrying the same spot: a fixed-period
+      // retry can starve the very operation (a sifting deleter or the
+      // parent item's owner) it is waiting for.
+      if (next == i)
+        backoff.spin();
+      else
+        backoff.reset();
+      i = next;
+    }
+    if (i == 1) {
+      nodes_[1].lock.acquire();
+      if (nodes_[1].tag.load() == mytag) nodes_[1].tag.store(kAvail);
+      nodes_[1].lock.release();
+    }
+    return true;
+  }
+
+  std::optional<Entry> delete_min() {
+    heap_lock_.acquire();
+    const u64 n = size_.load();
+    if (n == 0) {
+      heap_lock_.release();
+      return std::nullopt;
+    }
+    size_.store(n - 1);
+    const u64 last = bit_reversed(n);
+    nodes_[last].lock.acquire();
+    const u64 moved = nodes_[last].entry.load();
+    nodes_[last].tag.store(kEmpty);
+    nodes_[last].lock.release();
+
+    if (last == 1) {
+      // The heap held a single item; it is the minimum.
+      heap_lock_.release();
+      return unpack_entry(moved);
+    }
+
+    nodes_[1].lock.acquire();
+    heap_lock_.release();
+    if (nodes_[1].tag.load() == kEmpty) {
+      // A racing deleter consumed the root via the "last element" path
+      // before we locked it; the item we extracted stands in for the root.
+      nodes_[1].lock.release();
+      return unpack_entry(moved);
+    }
+    const u64 min = nodes_[1].entry.load();
+    nodes_[1].entry.store(moved);
+    nodes_[1].tag.store(kAvail);
+
+    sift_down();
+    return unpack_entry(min);
+  }
+
+  u32 npriorities() const { return npriorities_; }
+
+  /// Bit-reversal slot sequence (exposed for tests): the k-th inserted item
+  /// lands in slot bit_reversed(k), which reverses the within-level bits so
+  /// consecutive climbs share no path except near the root.
+  static u64 bit_reversed(u64 s) {
+    FPQ_ASSERT(s >= 1);
+    u64 h = 1;
+    while ((h << 1) <= s) h <<= 1; // highest power of two <= s
+    u64 low = s - h;               // position within the level
+    u64 rev = 0;
+    for (u64 b = h >> 1; b != 0; b >>= 1) {
+      rev = (rev << 1) | (low & 1);
+      low >>= 1;
+    }
+    return h + rev;
+  }
+
+  /// Test hook: heap order among non-empty nodes; meaningful at quiescence.
+  bool heap_invariant_holds() const {
+    for (u64 i = 2; i < nodes_.size(); ++i) {
+      const u64 pi = i >> 1;
+      if (nodes_[pi].tag.load() == kEmpty || nodes_[i].tag.load() == kEmpty) continue;
+      if (nodes_[pi].entry.load() > nodes_[i].entry.load()) return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr u64 kEmpty = 0;
+  static constexpr u64 kAvail = 1;
+  static u64 tag_of(ProcId p) { return static_cast<u64>(p) + 2; }
+
+  struct Node {
+    TtasLock<P> lock;
+    typename P::template Shared<u64> tag{kEmpty};
+    typename P::template Shared<u64> entry{0};
+  };
+
+  void swap_nodes(u64 a, u64 b) {
+    const u64 ea = nodes_[a].entry.load();
+    const u64 ta = nodes_[a].tag.load();
+    nodes_[a].entry.store(nodes_[b].entry.load());
+    nodes_[a].tag.store(nodes_[b].tag.load());
+    nodes_[b].entry.store(ea);
+    nodes_[b].tag.store(ta);
+  }
+
+  /// Sift the root item down to heap order. Called holding nodes_[1].lock;
+  /// releases every lock it takes, including the moving node's.
+  void sift_down() {
+    u64 i = 1;
+    for (;;) {
+      const u64 l = i << 1;
+      const u64 r = l + 1;
+      if (l >= nodes_.size()) break;
+      nodes_[l].lock.acquire();
+      u64 c = 0;
+      if (r < nodes_.size()) {
+        nodes_[r].lock.acquire();
+        const bool le = nodes_[l].tag.load() == kEmpty;
+        const bool re = nodes_[r].tag.load() == kEmpty;
+        if (le && re) {
+          nodes_[r].lock.release();
+          nodes_[l].lock.release();
+          break;
+        }
+        if (!le && (re || nodes_[l].entry.load() <= nodes_[r].entry.load())) {
+          nodes_[r].lock.release();
+          c = l;
+        } else {
+          nodes_[l].lock.release();
+          c = r;
+        }
+      } else {
+        if (nodes_[l].tag.load() == kEmpty) {
+          nodes_[l].lock.release();
+          break;
+        }
+        c = l;
+      }
+      if (nodes_[c].entry.load() < nodes_[i].entry.load()) {
+        swap_nodes(i, c);
+        nodes_[i].lock.release();
+        i = c;
+      } else {
+        nodes_[c].lock.release();
+        break;
+      }
+    }
+    nodes_[i].lock.release();
+  }
+
+  u32 npriorities_;
+  u32 capacity_;
+  McsLock<P> heap_lock_;
+  typename P::template Shared<u64> size_{0};
+  std::vector<Node> nodes_;
+};
+
+} // namespace fpq

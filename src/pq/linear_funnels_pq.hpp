@@ -1,0 +1,68 @@
+// LinearFunnels (paper §3.2): SimpleLinear with every MCS-locked bin
+// replaced by a combining-funnel stack. insert pushes into the priority's
+// stack; delete-min scans stacks in priority order, testing emptiness with
+// a single read (crucial — a read is far cheaper than a funnel traversal)
+// and popping from the first non-empty one. Quiescently consistent.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "funnel/params.hpp"
+#include "funnel/stack.hpp"
+#include "pq/pq.hpp"
+
+namespace fpq {
+
+/// Knobs shared by the funnel-based queues.
+struct FunnelOptions {
+  /// Funnel layer geometry; defaults to FunnelParams::for_procs(maxprocs),
+  /// mirroring the paper's single pre-tuned set used for every funnel.
+  std::optional<FunnelParams> params;
+  /// Elimination toggle (ablation of §3.3's "up to 250%" claim).
+  bool eliminate = true;
+  /// FunnelTree only: tree depth down to which nodes use funnel counters;
+  /// deeper nodes use MCS-locked counters (§3.2 uses 4).
+  u32 tree_cutoff = 4;
+  /// Bin order: LIFO stacks (the paper's default) or the §3.2 fairness
+  /// hybrid — elimination in the funnel, FIFO order in the central store.
+  BinOrder bin_order = BinOrder::kLifo;
+};
+
+template <Platform P>
+class LinearFunnelsPq {
+ public:
+  explicit LinearFunnelsPq(const PqParams& params, const FunnelOptions& opts = {})
+      : npriorities_(params.npriorities) {
+    params.validate();
+    const FunnelParams fp = opts.params ? *opts.params
+                                        : FunnelParams::for_procs(params.maxprocs);
+    stacks_.reserve(npriorities_);
+    for (u32 i = 0; i < npriorities_; ++i)
+      stacks_.push_back(std::make_unique<FunnelStack<P>>(
+          params.maxprocs, fp, params.bin_capacity, opts.eliminate, opts.bin_order));
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    return stacks_[prio]->push(item);
+  }
+
+  std::optional<Entry> delete_min() {
+    for (u32 i = 0; i < npriorities_; ++i) {
+      if (!stacks_[i]->empty()) {
+        if (auto e = stacks_[i]->pop()) return Entry{i, *e};
+      }
+    }
+    return std::nullopt;
+  }
+
+  u32 npriorities() const { return npriorities_; }
+
+ private:
+  u32 npriorities_;
+  std::vector<std::unique_ptr<FunnelStack<P>>> stacks_;
+};
+
+} // namespace fpq

@@ -1,0 +1,77 @@
+// Common surface of every bounded-range priority queue in the library.
+//
+// Semantics (paper Appendix B): priorities are the integers
+// [0, npriorities); insert(p, item) adds an item with priority p;
+// delete_min removes and returns an item of (quiescently) minimal priority,
+// or nullopt when the queue is (quiescently) empty. Under concurrency a
+// delete_min may return nullopt even though overlapping inserts have placed
+// items (this is inherent to SimpleTree/FunnelTree and allowed by quiescent
+// consistency); callers that need an item retry.
+//
+// insert returns false only on capacity exhaustion (a sizing error by the
+// caller, reported rather than silently dropped).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/entry.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+struct PqParams {
+  /// Size of the fixed priority range [0, npriorities).
+  u32 npriorities = 16;
+  /// Upper bound on the processor ids that will touch the queue.
+  u32 maxprocs = 1;
+  /// Capacity of each per-priority bin / stack (bin-based queues) or of the
+  /// whole heap (heap-based queues, where it is multiplied by npriorities).
+  u32 bin_capacity = 4096;
+  /// Total item capacity of the heap-based queues (SingleLock, HuntEtAl),
+  /// which share one array rather than per-priority bins.
+  u32 heap_capacity = 1u << 16;
+  /// Seed for structure-construction randomness (skip-list levels).
+  u64 seed = 1;
+
+  void validate() const {
+    FPQ_ASSERT_MSG(npriorities >= 1 && npriorities < kMaxPackablePrio,
+                   "npriorities out of range");
+    FPQ_ASSERT_MSG(maxprocs >= 1, "maxprocs must be positive");
+    FPQ_ASSERT_MSG(bin_capacity >= 1, "bin_capacity must be positive");
+    FPQ_ASSERT_MSG(heap_capacity >= 1, "heap_capacity must be positive");
+  }
+};
+
+/// Type-erased view used by benchmarks, examples and generic tests. The
+/// concrete algorithm templates are the primary API; this wrapper adds one
+/// virtual dispatch per operation (free in simulated time).
+template <Platform P>
+class IPriorityQueue {
+ public:
+  virtual ~IPriorityQueue() = default;
+  virtual bool insert(Prio prio, Item item) = 0;
+  virtual std::optional<Entry> delete_min() = 0;
+  virtual u32 npriorities() const = 0;
+};
+
+/// Adapts any concrete queue type to IPriorityQueue.
+template <Platform P, class Q>
+class PqAdapter final : public IPriorityQueue<P> {
+ public:
+  template <class... Args>
+  explicit PqAdapter(Args&&... args) : q_(std::forward<Args>(args)...) {}
+
+  bool insert(Prio prio, Item item) override { return q_.insert(prio, item); }
+  std::optional<Entry> delete_min() override { return q_.delete_min(); }
+  u32 npriorities() const override { return q_.npriorities(); }
+
+  Q& impl() { return q_; }
+
+ private:
+  Q q_;
+};
+
+} // namespace fpq

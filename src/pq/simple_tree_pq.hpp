@@ -1,0 +1,80 @@
+// SimpleTree (paper Fig. 3, suggested by Dan Touitou): a complete binary
+// tree whose N leaves are per-priority bins and whose N-1 internal counters
+// each hold the number of items currently in the *left* subtree.
+//
+//   delete-min descends from the root: BFaD(counter, 0) — go left if the
+//   counter was positive (claiming one item of the left subtree), right
+//   otherwise; then bin-delete at the leaf.
+//
+//   insert places the item in its leaf's bin first and then climbs to the
+//   root, FaI-ing the parent counter every time it arrives from a left
+//   child (top-down insertions would race with descending deleters).
+//
+// Under concurrency a descent can chase a count that an overlapping insert
+// has not yet published and reach an empty leaf; delete_min then reports
+// nullopt, which quiescent consistency permits (see pq.hpp). The counter
+// template parameter lets FunnelTree share this skeleton.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "container/bin.hpp"
+#include "container/counters.hpp"
+#include "pq/pq.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class SimpleTreePq {
+ public:
+  explicit SimpleTreePq(const PqParams& params)
+      : npriorities_(params.npriorities),
+        nleaves_(round_up_pow2(params.npriorities)) {
+    params.validate();
+    counters_.reserve(nleaves_); // heap-indexed 1..nleaves_-1; slot 0 unused
+    for (u32 i = 0; i < nleaves_; ++i) counters_.push_back(std::make_unique<CasCounter<P>>(0));
+    bins_.reserve(npriorities_);
+    for (u32 i = 0; i < npriorities_; ++i)
+      bins_.push_back(
+          std::make_unique<LockedBin<P>>(params.maxprocs, params.bin_capacity));
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    if (!bins_[prio]->insert(item)) return false;
+    // Climb: increment each counter reached from its left child.
+    for (u32 n = nleaves_ + prio; n > 1; n >>= 1) {
+      if ((n & 1) == 0) counters_[n >> 1]->fai();
+    }
+    return true;
+  }
+
+  std::optional<Entry> delete_min() {
+    u32 n = 1;
+    while (n < nleaves_) {
+      const i64 before = counters_[n]->bfad(0);
+      n = (n << 1) | (before > 0 ? 0u : 1u);
+    }
+    const u32 prio = n - nleaves_;
+    if (prio >= npriorities_) return std::nullopt; // padding leaf, queue side empty
+    if (auto e = bins_[prio]->remove()) return Entry{prio, *e};
+    return std::nullopt;
+  }
+
+  u32 npriorities() const { return npriorities_; }
+
+  /// Test hook: the value of internal counter `node` (heap index).
+  i64 counter_value(u32 node) const { return counters_[node]->read(); }
+  u32 nleaves() const { return nleaves_; }
+
+ private:
+  u32 npriorities_;
+  u32 nleaves_;
+  std::vector<std::unique_ptr<CasCounter<P>>> counters_;
+  std::vector<std::unique_ptr<LockedBin<P>>> bins_;
+};
+
+} // namespace fpq

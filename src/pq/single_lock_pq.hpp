@@ -1,0 +1,98 @@
+// SingleLock (paper Fig. 11, left): a sequential array heap protected by
+// one MCS lock for the whole operation. The representative of centralized
+// lock-based algorithms; linearizable; supports arbitrary priorities (we
+// still enforce the bounded range for a fair comparison).
+//
+// Entries are packed (prio << 48 | item), so comparing the packed words
+// orders by priority first — the heap is a min-heap on packed words.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "pq/pq.hpp"
+#include "sync/mcs_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class SingleLockPq {
+ public:
+  explicit SingleLockPq(const PqParams& params)
+      : npriorities_(params.npriorities),
+        lock_(params.maxprocs),
+        heap_(params.heap_capacity + 1) { // 1-indexed
+    params.validate();
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    const u64 packed = pack_entry({prio, item});
+    McsGuard<P> g(lock_);
+    u64 n = size_.load();
+    if (n + 1 >= heap_.size()) return false;
+    ++n;
+    size_.store(n);
+    // Sift up.
+    u64 i = n;
+    heap_[i].store(packed);
+    while (i > 1) {
+      const u64 par = i >> 1;
+      const u64 pv = heap_[par].load();
+      if (pv <= packed) break;
+      heap_[i].store(pv);
+      heap_[par].store(packed);
+      i = par;
+    }
+    return true;
+  }
+
+  std::optional<Entry> delete_min() {
+    McsGuard<P> g(lock_);
+    const u64 n = size_.load();
+    if (n == 0) return std::nullopt;
+    const u64 min = heap_[1].load();
+    const u64 last = heap_[n].load();
+    size_.store(n - 1);
+    // Sift the previous last element down from the root.
+    u64 i = 1;
+    heap_[1].store(last);
+    const u64 limit = n - 1;
+    for (;;) {
+      u64 child = i << 1;
+      if (child > limit) break;
+      u64 cv = heap_[child].load();
+      if (child + 1 <= limit) {
+        const u64 rv = heap_[child + 1].load();
+        if (rv < cv) {
+          cv = rv;
+          ++child;
+        }
+      }
+      if (cv >= last) break;
+      heap_[i].store(cv);
+      heap_[child].store(last);
+      i = child;
+    }
+    return unpack_entry(min);
+  }
+
+  u32 npriorities() const { return npriorities_; }
+
+  /// Test hook: heap invariant check; only meaningful at quiescence.
+  bool heap_invariant_holds() const {
+    const u64 n = size_.load();
+    for (u64 i = 2; i <= n; ++i)
+      if (heap_[i >> 1].load() > heap_[i].load()) return false;
+    return true;
+  }
+
+ private:
+  u32 npriorities_;
+  McsLock<P> lock_;
+  typename P::template Shared<u64> size_{0};
+  std::vector<typename P::template Shared<u64>> heap_;
+};
+
+} // namespace fpq

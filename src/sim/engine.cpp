@@ -1,0 +1,145 @@
+#include "sim/engine.hpp"
+
+#include <cstdio>
+
+namespace fpq::sim {
+
+namespace {
+thread_local Engine* g_current = nullptr;
+}
+
+Engine* Engine::current() { return g_current; }
+
+Engine::Engine(u32 nprocs, MachineParams params, u64 seed)
+    : memory_(nprocs, params), procs_(nprocs), stats_(nprocs), params_(params) {
+  for (u32 i = 0; i < nprocs; ++i) procs_[i].rng = Xorshift(seed * 0x100000001b3ull + i);
+}
+
+Engine::~Engine() {
+  if (g_current == this) g_current = nullptr;
+}
+
+ProcId Engine::self() const {
+  FPQ_ASSERT_MSG(running_ != kNoProc, "self() called outside a simulated processor");
+  return running_;
+}
+
+Cycles Engine::now() const {
+  return running_ == kNoProc ? 0 : procs_[running_].clock;
+}
+
+Xorshift& Engine::rng() { return procs_[self()].rng; }
+
+void Engine::schedule(ProcId p) { runq_.emplace(procs_[p].clock, seq_++, p); }
+
+void Engine::yield_running() {
+  FPQ_ASSERT(running_ != kNoProc);
+  procs_[running_].fiber.yield_out();
+}
+
+void Engine::on_access(const void* addr, AccessKind kind) {
+  if (g_current != this || running_ == kNoProc) return; // setup/teardown code
+  Proc& p = procs_[running_];
+  AccessResult r = memory_.access(running_, addr, kind, p.clock);
+  p.clock = r.completion;
+  ++stats_[running_].accesses;
+  for (ProcId w : r.woken) {
+    Proc& wp = procs_[w];
+    FPQ_ASSERT(wp.blocked);
+    wp.blocked = false;
+    wp.clock = std::max(wp.clock, r.completion);
+    schedule(w);
+  }
+  // Hits are cheap and invisible to other processors; skipping the yield on
+  // them keeps host time proportional to *misses*, which is what the model
+  // charges for anyway.
+  if (!r.hit) yield_running();
+}
+
+void Engine::delay(Cycles c) {
+  if (g_current != this || running_ == kNoProc) return;
+  procs_[running_].clock += c;
+  yield_running();
+}
+
+void Engine::pause() { delay(params_.t_pause); }
+
+void Engine::wait_on(const void* addr, u64 observed_version) {
+  FPQ_ASSERT_MSG(running_ != kNoProc, "wait_on outside a simulated processor");
+  if (memory_.line_version(addr) != observed_version) {
+    // A write landed between the caller's read and this call; don't block,
+    // let the caller re-check.
+    return;
+  }
+  Proc& p = procs_[running_];
+  memory_.add_waiter(addr, running_);
+  p.blocked = true;
+  p.wait_addr = addr;
+  yield_running();
+  p.wait_addr = nullptr;
+  FPQ_ASSERT(!p.blocked);
+}
+
+void Engine::run(const std::function<void(ProcId)>& body) {
+  FPQ_ASSERT_MSG(!running_run_, "Engine::run is not reentrant");
+  running_run_ = true;
+  Engine* prev = g_current;
+  g_current = this;
+
+  const u32 n = nprocs();
+  // Fresh fibers each run; clocks persist across runs so a second run sees
+  // contention-consistent timestamps.
+  std::vector<Proc> fresh(n);
+  for (u32 i = 0; i < n; ++i) {
+    fresh[i].clock = procs_[i].clock;
+    fresh[i].rng = procs_[i].rng;
+  }
+  procs_ = std::move(fresh);
+
+  for (u32 i = 0; i < n; ++i) {
+    procs_[i].fiber.start([this, &body, i] { body(i); }, params_.fiber_stack_bytes);
+    schedule(i);
+  }
+
+  u32 live = n;
+  std::exception_ptr first_error;
+  while (!runq_.empty()) {
+    auto [clk, sq, pid] = runq_.top();
+    runq_.pop();
+    Proc& p = procs_[pid];
+    if (p.fiber.done() || p.blocked) continue; // defensively drop stale entries
+    // Every clock change is immediately followed by a fresh queue entry and
+    // blocked processors have no entry, so entries are never stale.
+    FPQ_ASSERT_MSG(clk == p.clock, "scheduler entry out of date");
+    (void)sq;
+    running_ = pid;
+    p.fiber.switch_in(&sched_ctx_);
+    running_ = kNoProc;
+    if (p.fiber.done()) {
+      --live;
+      if (p.fiber.error() && !first_error) first_error = p.fiber.error();
+      stats_[pid].clock = p.clock;
+    } else if (!p.blocked) {
+      schedule(pid);
+    }
+  }
+  running_run_ = false;
+  g_current = prev;
+
+  if (live > 0 && !first_error) {
+    std::fprintf(stderr, "funnelpq sim: deadlock — %u processor(s) blocked forever\n",
+                 live);
+    for (u32 i = 0; i < n; ++i) {
+      if (!procs_[i].fiber.done())
+        std::fprintf(stderr, "  proc %u blocked=%d clock=%llu wait_addr=%p\n", i,
+                     procs_[i].blocked ? 1 : 0,
+                     static_cast<unsigned long long>(procs_[i].clock),
+                     procs_[i].wait_addr);
+    }
+    FPQ_ASSERT_MSG(false, "simulated deadlock: all runnable fibers exhausted");
+  }
+  for (u32 i = 0; i < n; ++i) stats_[i].clock = procs_[i].clock;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace fpq::sim

@@ -1,0 +1,97 @@
+// The simulation engine: P simulated processors (fibers) scheduled in
+// global-time order over the MemoryModel. Algorithms never talk to the
+// engine directly — they go through SimPlatform (src/platform/sim.hpp),
+// whose Shared<T> words report each access here.
+//
+// Execution model
+//   * The runnable fiber with the smallest local clock runs next, so shared
+//     effects are applied in nondecreasing simulated time and runs are
+//     deterministic for a fixed seed.
+//   * A data operation linearizes at issue: the fiber performs the host
+//     memory operation, then calls on_access(), which charges the modeled
+//     latency (possibly including module queueing) and yields if the access
+//     was not a cache hit.
+//   * spin_until parks the fiber on the word's directory line; any write or
+//     RMW to the word wakes it. A per-line version counter closes the race
+//     between observing a stale value and registering as a waiter.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/fiber.hpp"
+#include "sim/memory.hpp"
+#include "sim/params.hpp"
+
+namespace fpq::sim {
+
+struct ProcStats {
+  Cycles clock = 0; // final local time
+  u64 accesses = 0;
+};
+
+class Engine {
+ public:
+  Engine(u32 nprocs, MachineParams params = {}, u64 seed = 1);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `body(proc_id)` on every simulated processor to completion.
+  /// Rethrows the first exception thrown inside a fiber. May be called
+  /// multiple times; clocks continue from where the previous run left off.
+  void run(const std::function<void(ProcId)>& body);
+
+  /// The engine currently executing a fiber on this host thread, or nullptr
+  /// when called from setup/teardown code.
+  static Engine* current();
+
+  /// True when the calling code is executing inside a simulated processor.
+  bool in_fiber() const { return running_ != kNoProc; }
+
+  // ---- Called from inside fibers (and tolerated outside for setup code).
+  ProcId self() const;
+  u32 nprocs() const { return static_cast<u32>(procs_.size()); }
+  Cycles now() const;
+  Xorshift& rng();
+  void on_access(const void* addr, AccessKind kind);
+  void delay(Cycles c);
+  void pause();
+  u64 line_version(const void* addr) { return memory_.line_version(addr); }
+  /// Blocks the calling fiber until a write touches `addr`, unless the
+  /// line's version already moved past `observed_version`.
+  void wait_on(const void* addr, u64 observed_version);
+
+  const MemStats& mem_stats() const { return memory_.stats(); }
+  MemoryModel& memory() { return memory_; }
+  const std::vector<ProcStats>& proc_stats() const { return stats_; }
+  const MachineParams& params() const { return memory_.params(); }
+
+ private:
+  struct Proc {
+    Cycles clock = 0;
+    Fiber fiber;
+    Xorshift rng{0};
+    bool blocked = false;
+    const void* wait_addr = nullptr; // diagnostic: word waited on
+  };
+
+  void schedule(ProcId p);
+  void yield_running();
+
+  MemoryModel memory_;
+  std::vector<Proc> procs_;
+  std::vector<ProcStats> stats_;
+  ProcId running_ = kNoProc;
+  ucontext_t sched_ctx_{};
+  u64 seq_ = 0; // tie-breaker for equal clocks (keeps ordering deterministic)
+  using QEntry = std::tuple<Cycles, u64, ProcId>;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> runq_;
+  MachineParams params_;
+  bool running_run_ = false;
+};
+
+} // namespace fpq::sim

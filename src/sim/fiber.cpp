@@ -1,0 +1,52 @@
+#include "sim/fiber.hpp"
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace fpq::sim {
+
+void Fiber::start(std::function<void()> fn, std::size_t stack_bytes) {
+  FPQ_ASSERT_MSG(!started_, "Fiber::start called twice");
+  fn_ = std::move(fn);
+  stack_ = std::make_unique<char[]>(stack_bytes);
+  FPQ_ASSERT(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = nullptr; // fibers never fall off the end; body() yields out
+  // makecontext only passes ints; smuggle `this` through two 32-bit halves.
+  auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+  started_ = true;
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto self = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                       static_cast<std::uintptr_t>(lo));
+  self->body();
+}
+
+void Fiber::body() {
+  try {
+    fn_();
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  done_ = true;
+  yield_out();
+  FPQ_ASSERT_MSG(false, "finished fiber resumed");
+}
+
+void Fiber::switch_in(ucontext_t* from) {
+  FPQ_ASSERT_MSG(started_ && !done_, "switching into an unstarted or finished fiber");
+  return_ctx_ = from;
+  FPQ_ASSERT(swapcontext(from, &ctx_) == 0);
+}
+
+void Fiber::yield_out() {
+  FPQ_ASSERT(return_ctx_ != nullptr);
+  FPQ_ASSERT(swapcontext(&ctx_, return_ctx_) == 0);
+}
+
+} // namespace fpq::sim

@@ -1,0 +1,52 @@
+// Cooperative user-level contexts for the simulator. Each simulated
+// processor executes the *real* algorithm code on its own fiber; the engine
+// interleaves fibers at shared-memory access boundaries, which is the same
+// direct-execution technique Proteus used.
+#pragma once
+
+#include <ucontext.h>
+
+#include <exception>
+#include <functional>
+#include <memory>
+
+namespace fpq::sim {
+
+class Fiber {
+ public:
+  Fiber() = default;
+  ~Fiber() = default;
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Prepares the fiber to run `fn` on its own stack. Must be called exactly
+  /// once before the first switch_in().
+  void start(std::function<void()> fn, std::size_t stack_bytes);
+
+  /// Transfers control from the scheduler into the fiber. Returns when the
+  /// fiber yields or finishes. `from` receives the scheduler's context.
+  void switch_in(ucontext_t* from);
+
+  /// Transfers control from inside the fiber back to whoever switched it in.
+  void yield_out();
+
+  bool done() const { return done_; }
+
+  /// Exception thrown by the fiber body, if any (rethrown by the engine
+  /// after the run completes so test assertions surface normally).
+  std::exception_ptr error() const { return error_; }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void body();
+
+  ucontext_t ctx_{};
+  ucontext_t* return_ctx_ = nullptr;
+  std::unique_ptr<char[]> stack_;
+  std::function<void()> fn_;
+  bool started_ = false;
+  bool done_ = false;
+  std::exception_ptr error_;
+};
+
+} // namespace fpq::sim

@@ -1,0 +1,50 @@
+// Timing and topology parameters of the simulated multiprocessor.
+//
+// The machine modeled is a distributed-shared-memory ccNUMA in the style of
+// the MIT Alewife, which the paper targeted through the Proteus simulator:
+// processor/memory nodes on a 2-D mesh, a directory-based invalidation
+// protocol, and memory modules that serve one request at a time (the
+// serialization that produces hot spots, Pfister & Norton '85).
+//
+// Absolute constants are calibration knobs, not claims: the reproduction
+// compares curve *shapes* against the paper, and the tests pin down the
+// qualitative properties (hits are cheap, hot modules queue, invalidations
+// scale with sharers) rather than specific cycle counts.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace fpq::sim {
+
+struct MachineParams {
+  /// Cost of a load/store that hits in the processor's cache.
+  Cycles t_hit = 2;
+  /// Memory-module service time for a clean miss.
+  Cycles t_mem = 30;
+  /// Module occupancy: the module is busy this long per request; concurrent
+  /// requests to one module queue behind each other. This is the hot-spot
+  /// mechanism. Calibrated so the reference algorithms reproduce the
+  /// paper's qualitative curves (see EXPERIMENTS.md, "Calibration").
+  Cycles t_occ = 25;
+  /// Fixed network cost of entering/leaving the interconnect (one way).
+  Cycles t_net_base = 4;
+  /// Per-mesh-hop network cost (one way).
+  Cycles t_hop = 1;
+  /// Extra service time when the line is dirty in another processor's cache
+  /// (three-hop fetch).
+  Cycles t_dirty_fetch = 30;
+  /// Fixed cost of issuing invalidations from the directory.
+  Cycles t_inv_base = 8;
+  /// Additional cost per invalidated sharer.
+  Cycles t_inv_per_sharer = 2;
+  /// Cost of a processor-local pause (spin-loop hint).
+  Cycles t_pause = 4;
+
+  /// Stack size for each simulated processor's fiber.
+  std::size_t fiber_stack_bytes = 128 * 1024;
+};
+
+/// Hard cap baked into the inline sharer bitsets.
+inline constexpr u32 kMaxSimProcs = 1024;
+
+} // namespace fpq::sim

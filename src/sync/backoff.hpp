@@ -1,0 +1,29 @@
+// Randomized truncated exponential backoff for retry loops (CAS retry,
+// TTAS acquisition). Purely processor-local: delays through P::delay.
+#pragma once
+
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class Backoff {
+ public:
+  explicit Backoff(Cycles base = 8, Cycles cap = 1024) : base_(base), cap_(cap), cur_(base) {}
+
+  /// Waits a random slice of the current window, then doubles the window.
+  void spin() {
+    P::delay(1 + P::rnd(cur_));
+    cur_ = cur_ * 2 <= cap_ ? cur_ * 2 : cap_;
+  }
+
+  void reset() { cur_ = base_; }
+
+ private:
+  Cycles base_;
+  Cycles cap_;
+  Cycles cur_;
+};
+
+} // namespace fpq

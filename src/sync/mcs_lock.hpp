@@ -1,0 +1,88 @@
+// The MCS list-based queue lock (Mellor-Crummey & Scott, TOCS '91) — the
+// lock the paper uses for all its lock-based structures. Each acquiring
+// processor appends its queue node with one register-to-memory-swap and then
+// spins on a flag in its *own* node, so waiting generates no interconnect
+// traffic until the predecessor hands the lock over. Handoff is FIFO.
+//
+// Each lock owns one queue node per processor: a processor never waits on
+// the same lock twice concurrently, so the slot can be reused (this is the
+// standard qnode allocation of the original paper).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class McsLock {
+ public:
+  /// `maxprocs` is the highest processor count this lock may see.
+  explicit McsLock(u32 maxprocs) : nodes_(maxprocs) {}
+
+  void acquire() {
+    QNode& me = node(P::self());
+    me.next.store(nullptr);
+    QNode* pred = tail_.exchange(&me);
+    if (pred != nullptr) {
+      me.locked.store(1);
+      pred->next.store(&me);
+      P::spin_until(me.locked, [](u32 v) { return v == 0; });
+    }
+  }
+
+  void release() {
+    QNode& me = node(P::self());
+    QNode* succ = me.next.load();
+    if (succ == nullptr) {
+      QNode* expected = &me;
+      if (tail_.compare_exchange(expected, nullptr)) return; // no one waiting
+      // A successor is in the middle of enqueueing; wait for its link.
+      succ = P::spin_until(me.next, [](QNode* n) { return n != nullptr; });
+    }
+    succ->locked.store(0);
+  }
+
+  /// Single attempt: succeeds only when the lock is free (used by the
+  /// SkipList delete path, paper Fig. 12's `acquired`).
+  bool try_acquire() {
+    QNode& me = node(P::self());
+    me.next.store(nullptr);
+    QNode* expected = nullptr;
+    return tail_.compare_exchange(expected, &me);
+  }
+
+ private:
+  struct QNode {
+    typename P::template Shared<QNode*> next{nullptr};
+    typename P::template Shared<u32> locked{0};
+  };
+
+  QNode& node(ProcId p) {
+    FPQ_ASSERT_MSG(p < nodes_.size(), "processor id exceeds lock's maxprocs");
+    return *nodes_[p];
+  }
+
+  typename P::template Shared<QNode*> tail_{nullptr};
+  std::vector<Padded<QNode>> nodes_;
+};
+
+/// RAII guard (Core Guidelines CP.20).
+template <Platform P>
+class McsGuard {
+ public:
+  explicit McsGuard(McsLock<P>& l) : lock_(l) { lock_.acquire(); }
+  ~McsGuard() { lock_.release(); }
+  McsGuard(const McsGuard&) = delete;
+  McsGuard& operator=(const McsGuard&) = delete;
+
+ private:
+  McsLock<P>& lock_;
+};
+
+} // namespace fpq

@@ -1,0 +1,51 @@
+// Test-and-test-and-set lock with randomized exponential backoff, built on
+// register-to-memory-swap (the paper's baseline hardware primitive). Used
+// where critical sections are a handful of accesses and the extra fairness
+// of MCS is not worth its handoff cost (e.g. the central stack behind a
+// combining funnel, skip-list level locks).
+#pragma once
+
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "sync/backoff.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class TtasLock {
+ public:
+  TtasLock() = default;
+
+  void acquire() {
+    Backoff<P> backoff;
+    for (;;) {
+      P::spin_until(flag_, [](u32 v) { return v == 0; });
+      if (flag_.exchange(1) == 0) return;
+      backoff.spin();
+    }
+  }
+
+  void release() { flag_.store(0); }
+
+  bool try_acquire() {
+    if (flag_.load() != 0) return false;
+    return flag_.exchange(1) == 0;
+  }
+
+ private:
+  typename P::template Shared<u32> flag_{0};
+};
+
+template <Platform P>
+class TtasGuard {
+ public:
+  explicit TtasGuard(TtasLock<P>& l) : lock_(l) { lock_.acquire(); }
+  ~TtasGuard() { lock_.release(); }
+  TtasGuard(const TtasGuard&) = delete;
+  TtasGuard& operator=(const TtasGuard&) = delete;
+
+ private:
+  TtasLock<P>& lock_;
+};
+
+} // namespace fpq

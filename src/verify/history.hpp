@@ -1,0 +1,51 @@
+// Operation histories for the consistency checkers (paper Appendix B).
+//
+// Recording is processor-local: each processor appends to its own buffer
+// (host memory — in the simulator this deliberately costs zero simulated
+// cycles, so instrumentation does not perturb the measured algorithms), and
+// the buffers are merged after the run.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+struct OpRecord {
+  enum class Kind : u8 { kInsert, kDeleteMin };
+  Kind kind = Kind::kInsert;
+  ProcId proc = 0;
+  Cycles invoked = 0;
+  Cycles responded = 0;
+  /// kInsert: the inserted entry. kDeleteMin: the returned entry when
+  /// result_present, unspecified otherwise.
+  Entry entry;
+  bool result_present = false; // kDeleteMin only
+
+  static OpRecord insert_op(ProcId p, Cycles t0, Cycles t1, Entry e) {
+    return {Kind::kInsert, p, t0, t1, e, true};
+  }
+  static OpRecord delete_op(ProcId p, Cycles t0, Cycles t1, std::optional<Entry> e) {
+    return {Kind::kDeleteMin, p, t0, t1, e.value_or(Entry{}), e.has_value()};
+  }
+};
+
+using History = std::vector<OpRecord>;
+
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(u32 nprocs) : per_proc_(nprocs) {}
+
+  void record(const OpRecord& op) { per_proc_[op.proc].push_back(op); }
+
+  /// Merged history, sorted by invocation time (stable on proc id).
+  History merged() const;
+
+ private:
+  std::vector<std::vector<OpRecord>> per_proc_;
+};
+
+} // namespace fpq

@@ -1,0 +1,82 @@
+#include "verify/linearizability.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/assert.hpp"
+#include "verify/model_pq.hpp"
+
+namespace fpq {
+
+History HistoryRecorder::merged() const {
+  History out;
+  for (const auto& v : per_proc_) out.insert(out.end(), v.begin(), v.end());
+  std::stable_sort(out.begin(), out.end(), [](const OpRecord& a, const OpRecord& b) {
+    if (a.invoked != b.invoked) return a.invoked < b.invoked;
+    return a.proc < b.proc;
+  });
+  return out;
+}
+
+namespace {
+
+class Searcher {
+ public:
+  explicit Searcher(const History& h) : h_(h) {
+    FPQ_ASSERT_MSG(h.size() <= 64, "linearizability checker limited to 64 ops");
+  }
+
+  bool search(u64 done, ModelPq& model, std::vector<u32>& order) {
+    if (order.size() == h_.size()) return true;
+    if (!visited_.insert(done).second) return false;
+
+    // Real-time constraint: the next linearized op must begin before every
+    // still-unlinearized op ends.
+    Cycles min_resp = ~0ull;
+    for (u32 i = 0; i < h_.size(); ++i)
+      if (!(done & (1ull << i))) min_resp = std::min(min_resp, h_[i].responded);
+
+    for (u32 i = 0; i < h_.size(); ++i) {
+      if (done & (1ull << i)) continue;
+      const OpRecord& op = h_[i];
+      if (op.invoked > min_resp) continue;
+      if (op.kind == OpRecord::Kind::kInsert) {
+        model.insert(op.entry.prio, op.entry.item);
+        order.push_back(i);
+        if (search(done | (1ull << i), model, order)) return true;
+        order.pop_back();
+        FPQ_ASSERT(model.remove(op.entry.prio, op.entry.item));
+      } else if (!op.result_present) {
+        if (!model.empty()) continue;
+        order.push_back(i);
+        if (search(done | (1ull << i), model, order)) return true;
+        order.pop_back();
+      } else {
+        const auto minp = model.min_priority();
+        if (!minp || *minp != op.entry.prio) continue;
+        if (!model.remove(op.entry.prio, op.entry.item)) continue;
+        order.push_back(i);
+        if (search(done | (1ull << i), model, order)) return true;
+        order.pop_back();
+        model.insert(op.entry.prio, op.entry.item);
+      }
+    }
+    return false;
+  }
+
+ private:
+  const History& h_;
+  std::unordered_set<u64> visited_;
+};
+
+} // namespace
+
+LinearizabilityResult check_linearizable(const History& h) {
+  LinearizabilityResult r;
+  Searcher s(h);
+  ModelPq model;
+  r.linearizable = s.search(0, model, r.order);
+  return r;
+}
+
+} // namespace fpq

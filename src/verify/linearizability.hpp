@@ -1,0 +1,26 @@
+// Wing-Gong style linearizability checker for priority-queue histories
+// (paper Appendix B defines linearizability after Herlihy & Wing).
+//
+// Exhaustive search with memoization on the set of linearized operations;
+// practical for the small recorded histories the tests produce (<= 24 ops).
+// An operation may be linearized next only if its invocation precedes every
+// unlinearized operation's response (real-time order preservation); a
+// delete-min is legal iff its result has the minimal priority currently in
+// the model (or the model is empty for a nullopt result).
+#pragma once
+
+#include "verify/history.hpp"
+
+namespace fpq {
+
+struct LinearizabilityResult {
+  bool linearizable = false;
+  /// Indices into the input history in linearization order (valid only when
+  /// linearizable).
+  std::vector<u32> order;
+};
+
+/// Checks a complete history (every operation responded).
+LinearizabilityResult check_linearizable(const History& h);
+
+} // namespace fpq

@@ -1,0 +1,79 @@
+// Sequential reference priority queue used as the oracle by the checkers
+// and the conformance tests. Within one priority, items come out LIFO to
+// mirror the array-bin / stack behaviour of the implementations (Appendix B
+// leaves the equal-priority order unspecified, so any order is legal; LIFO
+// makes exact-match tests deterministic).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+class ModelPq {
+ public:
+  void insert(Prio prio, Item item) { bins_[prio].push_back(item); }
+
+  std::optional<Entry> delete_min() {
+    auto it = bins_.begin();
+    if (it == bins_.end()) return std::nullopt;
+    Entry e{it->first, it->second.back()};
+    it->second.pop_back();
+    if (it->second.empty()) bins_.erase(it);
+    return e;
+  }
+
+  bool empty() const { return bins_.empty(); }
+
+  u64 size() const {
+    u64 n = 0;
+    for (const auto& [p, v] : bins_) n += v.size();
+    return n;
+  }
+
+  std::optional<Prio> min_priority() const {
+    if (bins_.empty()) return std::nullopt;
+    return bins_.begin()->first;
+  }
+
+  /// True if some item of priority `prio` with payload `item` is present.
+  bool contains(Prio prio, Item item) const {
+    auto it = bins_.find(prio);
+    if (it == bins_.end()) return false;
+    for (Item x : it->second)
+      if (x == item) return true;
+    return false;
+  }
+
+  /// Removes a specific (priority, item) pair; returns false if absent.
+  bool remove(Prio prio, Item item) {
+    auto it = bins_.find(prio);
+    if (it == bins_.end()) return false;
+    auto& v = it->second;
+    for (auto vi = v.begin(); vi != v.end(); ++vi) {
+      if (*vi == item) {
+        v.erase(vi);
+        if (v.empty()) bins_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// All entries, ascending by priority (ties in insertion order).
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    for (const auto& [p, v] : bins_)
+      for (Item x : v) out.push_back({p, x});
+    return out;
+  }
+
+ private:
+  std::map<Prio, std::vector<Item>> bins_;
+};
+
+} // namespace fpq

@@ -1,0 +1,98 @@
+#include "verify/quiescent.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace fpq {
+
+namespace {
+bool entry_less(const Entry& a, const Entry& b) {
+  if (a.prio != b.prio) return a.prio < b.prio;
+  return a.item < b.item;
+}
+} // namespace
+
+PhaseCheckResult check_quiescent_phase(const std::vector<Entry>& initial,
+                                       const std::vector<Entry>& inserted,
+                                       const std::vector<Entry>& deleted) {
+  PhaseCheckResult r;
+
+  // Conservation: every deleted entry must exist (multiset) in E ∪ I.
+  std::map<std::pair<Prio, Item>, i64> avail;
+  for (const Entry& e : initial) ++avail[{e.prio, e.item}];
+  for (const Entry& e : inserted) ++avail[{e.prio, e.item}];
+  for (const Entry& e : deleted) {
+    if (--avail[{e.prio, e.item}] < 0) {
+      std::ostringstream os;
+      os << "deleted entry (prio=" << e.prio << ", item=" << e.item
+         << ") not available in E ∪ I (lost/duplicated item)";
+      r.ok = false;
+      r.diagnostic = os.str();
+      return r;
+    }
+  }
+
+  // Priority bound. Appendix B says D ⊆ Min_k(E) ∪ Min_k(E ∪ I); read
+  // literally that over-constrains executions where an insert pair is
+  // in flight (a delete may legally be reordered after insert(high) but
+  // before insert(low)). The sound version gives the rank bound |I| slack:
+  // the i-th smallest returned priority is at most the (i+|I|)-th smallest
+  // available priority. With no overlapping inserts this is exactly the
+  // Min_k requirement.
+  const u64 k = deleted.size();
+  if (k == 0) return r;
+  std::vector<Prio> pool;
+  pool.reserve(initial.size() + inserted.size());
+  for (const Entry& e : initial) pool.push_back(e.prio);
+  for (const Entry& e : inserted) pool.push_back(e.prio);
+  std::sort(pool.begin(), pool.end());
+  if (k > pool.size()) {
+    r.ok = false;
+    r.diagnostic = "more successful deletions than available entries";
+    return r;
+  }
+  std::vector<Prio> got;
+  got.reserve(k);
+  for (const Entry& e : deleted) got.push_back(e.prio);
+  std::sort(got.begin(), got.end());
+  const u64 slack = inserted.size();
+  for (u64 i = 0; i < k; ++i) {
+    const u64 j = i + slack;
+    if (j >= pool.size()) break; // no constraint once slack exhausts the pool
+    if (got[i] > pool[j]) {
+      std::ostringstream os;
+      os << "rank-" << i << " deleted priority " << got[i]
+         << " exceeds the rank-" << j << " available priority " << pool[j]
+         << " (slack=" << slack << ")";
+      r.ok = false;
+      r.diagnostic = os.str();
+      return r;
+    }
+  }
+  return r;
+}
+
+PhaseCheckResult check_drain_sorted(const std::vector<Entry>& drained) {
+  PhaseCheckResult r;
+  for (std::size_t i = 1; i < drained.size(); ++i) {
+    if (drained[i].prio < drained[i - 1].prio) {
+      std::ostringstream os;
+      os << "drain order violation at position " << i << ": priority "
+         << drained[i].prio << " after " << drained[i - 1].prio;
+      r.ok = false;
+      r.diagnostic = os.str();
+      return r;
+    }
+  }
+  return r;
+}
+
+bool same_entries(std::vector<Entry> a, std::vector<Entry> b) {
+  if (a.size() != b.size()) return false;
+  std::sort(a.begin(), a.end(), entry_less);
+  std::sort(b.begin(), b.end(), entry_less);
+  return a == b;
+}
+
+} // namespace fpq

@@ -1,0 +1,41 @@
+// Quiescent-consistency checking (paper Appendix B, after Aspnes, Herlihy &
+// Shavit). Tests drive the queues in *phases* separated by quiescent points
+// (no operation in flight). For each phase, with
+//
+//   E = queue content at the phase's opening quiescent point,
+//   I = entries inserted during the phase,
+//   D = entries returned by the phase's k successful delete-mins,
+//
+// Appendix B requires D ⊆ Min_k(E) ∪ Min_k(E ∪ I). We verify a sound
+// rank-based consequence: the i-th smallest returned priority is at most
+// the (i+|I|)-th smallest priority of E ∪ I (the |I| slack covers deletes
+// legally reordered between overlapping inserts; with |I| = 0 this is the
+// exact Min_k requirement) — plus exact conservation: D's items are a
+// sub-multiset of E ∪ I.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/entry.hpp"
+#include "common/types.hpp"
+
+namespace fpq {
+
+struct PhaseCheckResult {
+  bool ok = true;
+  std::string diagnostic; // first violation, empty when ok
+};
+
+/// `initial` = E, `inserted` = I, `deleted` = D (successful deletions only).
+PhaseCheckResult check_quiescent_phase(const std::vector<Entry>& initial,
+                                       const std::vector<Entry>& inserted,
+                                       const std::vector<Entry>& deleted);
+
+/// For a solo drain at quiescence: priorities must come out nondecreasing.
+PhaseCheckResult check_drain_sorted(const std::vector<Entry>& drained);
+
+/// Multiset equality of (prio, item) pairs — conservation at quiescence.
+bool same_entries(std::vector<Entry> a, std::vector<Entry> b);
+
+} // namespace fpq

@@ -1,0 +1,196 @@
+// Tests of the paper's Fig. 1 building blocks: MCS-locked bins and the
+// (bounded) fetch-and-inc/dec counters in their CAS and MCS variants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "container/bin.hpp"
+#include "container/counters.hpp"
+#include "platform/sim.hpp"
+
+namespace fpq {
+namespace {
+
+TEST(LockedBin, FillAndDrainLifo) {
+  LockedBin<SimPlatform> bin(1, 16);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(bin.empty());
+    for (u64 i = 0; i < 5; ++i) EXPECT_TRUE(bin.insert(i));
+    EXPECT_FALSE(bin.empty());
+    for (u64 i = 5; i-- > 0;) {
+      auto e = bin.remove();
+      ASSERT_TRUE(e.has_value());
+      EXPECT_EQ(*e, i);
+    }
+    EXPECT_TRUE(bin.empty());
+    EXPECT_FALSE(bin.remove().has_value());
+  });
+}
+
+TEST(LockedBin, CapacityIsEnforced) {
+  LockedBin<SimPlatform> bin(1, 3);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(bin.insert(1));
+    EXPECT_TRUE(bin.insert(2));
+    EXPECT_TRUE(bin.insert(3));
+    EXPECT_FALSE(bin.insert(4));
+    bin.remove();
+    EXPECT_TRUE(bin.insert(5));
+  });
+}
+
+class LockedBinProcs : public ::testing::TestWithParam<u32> {};
+
+TEST_P(LockedBinProcs, ConcurrentConservation) {
+  const u32 nprocs = GetParam();
+  LockedBin<SimPlatform> bin(nprocs, 4096);
+  auto removed_count = std::make_unique<SimShared<u64>>(0);
+  std::vector<std::vector<u64>> removed(nprocs);
+  sim::Engine eng(nprocs, {}, 3);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 40; ++i) {
+      ASSERT_TRUE(bin.insert((static_cast<u64>(id) << 32) | i));
+      if (SimPlatform::flip()) {
+        if (auto e = bin.remove()) removed[id].push_back(*e);
+      }
+    }
+  });
+  std::multiset<u64> out;
+  for (const auto& v : removed) out.insert(v.begin(), v.end());
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto e = bin.remove()) removed[0].push_back(*e);
+  });
+  out.clear();
+  for (const auto& v : removed) out.insert(v.begin(), v.end());
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(nprocs) * 40);
+  std::set<u64> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), out.size()) << "duplicate removals";
+  (void)removed_count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LockedBinProcs, ::testing::Values(2u, 4u, 16u, 64u));
+
+TEST(LockedBin, EmptyIsSingleRead) {
+  LockedBin<SimPlatform> bin(2, 8);
+  sim::Engine eng(2);
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    bin.insert(1);
+    const u64 reads_before = SimPlatform::engine().mem_stats().reads;
+    (void)bin.empty();
+    EXPECT_EQ(SimPlatform::engine().mem_stats().reads, reads_before + 1);
+  });
+}
+
+template <class C>
+void counter_unique_fai(C& ctr, u32 nprocs, u32 per_proc, u64 seed) {
+  std::vector<std::vector<i64>> got(nprocs);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < per_proc; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(32));
+      got[id].push_back(ctr.fai());
+    }
+  });
+  std::set<i64> values;
+  for (const auto& v : got) values.insert(v.begin(), v.end());
+  const u64 total = static_cast<u64>(nprocs) * per_proc;
+  EXPECT_EQ(values.size(), total) << "duplicate fetch-and-increment results";
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), static_cast<i64>(total) - 1);
+  EXPECT_EQ(ctr.read(), static_cast<i64>(total));
+}
+
+TEST(CasCounter, FaiReturnsArePermutation) {
+  CasCounter<SimPlatform> c(0);
+  counter_unique_fai(c, 16, 25, 17);
+}
+
+TEST(McsCounter, FaiReturnsArePermutation) {
+  McsCounter<SimPlatform> c(16, 0);
+  counter_unique_fai(c, 16, 25, 19);
+}
+
+struct BfadCase {
+  u32 nprocs;
+  u32 dec_pct;
+  u64 seed;
+};
+
+class BfadSweep : public ::testing::TestWithParam<BfadCase> {};
+
+TEST_P(BfadSweep, NeverBelowFloorAndAccountingExact) {
+  const auto [nprocs, dec_pct, seed] = GetParam();
+  CasCounter<SimPlatform> c(0);
+  auto incs = std::make_unique<SimShared<u64>>(0);
+  auto effective_decs = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 30; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::rnd(100) < dec_pct) {
+        const i64 before = c.bfad(0);
+        EXPECT_GE(before, 0);
+        if (before > 0) effective_decs->fetch_add(1);
+      } else {
+        c.fai();
+        incs->fetch_add(1);
+      }
+    }
+  });
+  EXPECT_GE(c.read(), 0);
+  EXPECT_EQ(c.read(),
+            static_cast<i64>(incs->load()) - static_cast<i64>(effective_decs->load()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BfadSweep,
+                         ::testing::Values(BfadCase{2, 50, 1}, BfadCase{8, 50, 2},
+                                           BfadCase{8, 80, 3}, BfadCase{8, 20, 4},
+                                           BfadCase{32, 50, 5}, BfadCase{32, 100, 6},
+                                           BfadCase{64, 50, 7}));
+
+TEST(CasCounter, BfaiRespectsCeiling) {
+  CasCounter<SimPlatform> c(0);
+  sim::Engine eng(8, {}, 23);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 50; ++i) {
+      const i64 before = c.bfai(10);
+      EXPECT_LE(before, 10);
+    }
+  });
+  EXPECT_EQ(c.read(), 10);
+}
+
+TEST(CasCounter, FadUnboundedGoesNegative) {
+  CasCounter<SimPlatform> c(0);
+  sim::Engine eng(4);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 10; ++i) c.fad();
+  });
+  EXPECT_EQ(c.read(), -40);
+}
+
+TEST(McsCounter, BfadMatchesCasCounterSemantics) {
+  // Drive both with one deterministic schedule; at quiescence both must
+  // satisfy the same invariant (values differ only through interleaving).
+  McsCounter<SimPlatform> mc(8, 5);
+  sim::Engine eng(8, {}, 29);
+  auto effective = std::make_unique<SimShared<u64>>(0);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 20; ++i) {
+      const i64 before = mc.bfad(0);
+      EXPECT_GE(before, 0);
+      if (before > 0) effective->fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mc.read(), 5 - static_cast<i64>(effective->load()));
+  EXPECT_EQ(mc.read(), 0); // 160 attempts on 5 items drain it
+}
+
+} // namespace
+} // namespace fpq

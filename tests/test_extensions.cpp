@@ -1,0 +1,262 @@
+// Tests of the paper's extension features implemented beyond the headline
+// algorithms: the §3.2 FIFO fairness hybrid bins and the §3.3 symmetric
+// bounded fetch-and-increment.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "funnel/counter.hpp"
+#include "funnel/stack.hpp"
+#include "platform/sim.hpp"
+
+namespace fpq {
+namespace {
+
+FunnelParams tight_params(u32 levels) {
+  FunnelParams p;
+  p.levels = levels;
+  for (u32 d = 0; d < kMaxFunnelLevels; ++d) {
+    p.width[d] = 2;
+    p.spin[d] = 8;
+  }
+  return p;
+}
+
+TEST(FifoBin, SequentialFifoOrder) {
+  FunnelStack<SimPlatform> q(1, tight_params(1), 64, /*eliminate=*/true,
+                             BinOrder::kFifo);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    for (u64 i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+    for (u64 i = 0; i < 8; ++i) {
+      auto v = q.pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i) << "not FIFO";
+    }
+    EXPECT_FALSE(q.pop().has_value());
+  });
+}
+
+TEST(FifoBin, RingWrapsAroundCapacity) {
+  FunnelStack<SimPlatform> q(1, tight_params(1), 4, true, BinOrder::kFifo);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    // Cycle more items than the capacity; order must survive wrap-around.
+    for (u64 round = 0; round < 5; ++round) {
+      for (u64 i = 0; i < 3; ++i) ASSERT_TRUE(q.push(round * 10 + i));
+      for (u64 i = 0; i < 3; ++i) EXPECT_EQ(*q.pop(), round * 10 + i);
+    }
+    EXPECT_TRUE(q.empty());
+  });
+}
+
+TEST(FifoBin, CapacityRefusal) {
+  FunnelStack<SimPlatform> q(1, tight_params(1), 2, true, BinOrder::kFifo);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_FALSE(q.push(3));
+    EXPECT_EQ(*q.pop(), 1u);
+    EXPECT_TRUE(q.push(3));
+    EXPECT_EQ(*q.pop(), 2u);
+    EXPECT_EQ(*q.pop(), 3u);
+  });
+}
+
+class FifoBinProcs : public ::testing::TestWithParam<u32> {};
+
+TEST_P(FifoBinProcs, ConcurrentConservation) {
+  const u32 nprocs = GetParam();
+  FunnelStack<SimPlatform> q(nprocs, tight_params(2), 1u << 13, true,
+                             BinOrder::kFifo);
+  std::vector<std::vector<u64>> popped(nprocs);
+  std::vector<u64> pushed(nprocs, 0);
+  sim::Engine eng(nprocs, {}, 7);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 30; ++i) {
+      if (SimPlatform::flip()) {
+        ASSERT_TRUE(q.push((static_cast<u64>(id) << 32) | i));
+        ++pushed[id];
+      } else if (auto v = q.pop()) {
+        popped[id].push_back(*v);
+      }
+    }
+  });
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto v = q.pop()) popped[0].push_back(*v);
+  });
+  u64 total_pushed = 0;
+  for (u64 c : pushed) total_pushed += c;
+  std::set<u64> uniq;
+  u64 total_popped = 0;
+  for (const auto& v : popped) {
+    uniq.insert(v.begin(), v.end());
+    total_popped += v.size();
+  }
+  EXPECT_EQ(total_popped, total_pushed);
+  EXPECT_EQ(uniq.size(), total_popped);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FifoBinProcs, ::testing::Values(2u, 8u, 32u, 64u));
+
+TEST(FifoBin, PerProducerOrderPreservedThroughCentralStore) {
+  // FIFO hybrid guarantee at the central store: among one producer's items
+  // that were NOT eliminated, consumption order matches production order
+  // when drained at quiescence.
+  FunnelStack<SimPlatform> q(4, tight_params(1), 1024, /*eliminate=*/false,
+                             BinOrder::kFifo);
+  sim::Engine eng(4, {}, 9);
+  eng.run([&](ProcId id) {
+    for (u64 i = 0; i < 20; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      ASSERT_TRUE(q.push((static_cast<u64>(id) << 32) | i));
+    }
+  });
+  std::vector<u64> last_seen(4, 0);
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto v = q.pop()) {
+      const u64 producer = *v >> 32;
+      const u64 seq = *v & 0xffffffffu;
+      EXPECT_GE(seq + 1, last_seen[producer]) << "per-producer order broken";
+      last_seen[producer] = seq + 1;
+    }
+  });
+}
+
+TEST(LinearFunnelsFifo, EqualPriorityItemsComeOutInArrivalOrder) {
+  PqParams params{.npriorities = 4, .maxprocs = 1};
+  FunnelOptions opts;
+  opts.bin_order = BinOrder::kFifo;
+  auto fifo = make_priority_queue<SimPlatform>(Algorithm::kLinearFunnels, params, opts);
+  auto lifo = make_priority_queue<SimPlatform>(Algorithm::kLinearFunnels, params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    for (u64 i = 1; i <= 4; ++i) {
+      fifo->insert(2, i);
+      lifo->insert(2, i);
+    }
+    EXPECT_EQ(fifo->delete_min()->item, 1u); // oldest first — no starvation
+    EXPECT_EQ(lifo->delete_min()->item, 4u); // newest first — the §3.2 concern
+  });
+}
+
+class FifoQueues : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(FifoQueues, ConservationWithFifoBins) {
+  PqParams params{.npriorities = 16, .maxprocs = 16, .bin_capacity = 1u << 12};
+  FunnelOptions opts;
+  opts.bin_order = BinOrder::kFifo;
+  auto pq = make_priority_queue<SimPlatform>(GetParam(), params, opts);
+  auto net = std::make_unique<SimShared<i64>>(0);
+  sim::Engine eng(16, {}, 13);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 30; ++i) {
+      if (SimPlatform::flip()) {
+        ASSERT_TRUE(pq->insert(static_cast<Prio>(SimPlatform::rnd(16)), i + 1));
+        net->fetch_add(1);
+      } else if (pq->delete_min()) {
+        net->fetch_add(-1);
+      }
+    }
+  });
+  i64 drained = 0;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (pq->delete_min()) ++drained;
+  });
+  EXPECT_EQ(drained, net->load());
+}
+
+INSTANTIATE_TEST_SUITE_P(FunnelQueues, FifoQueues,
+                         ::testing::Values(Algorithm::kLinearFunnels,
+                                           Algorithm::kFunnelTree),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// ---- Bounded fetch-and-increment (ceiling).
+
+using Cfg = FunnelCounter<SimPlatform>::Config;
+
+TEST(Bfai, SequentialStopsAtCeiling) {
+  FunnelCounter<SimPlatform> c(1, tight_params(1), Cfg{true, true, 0, 3}, 1);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_EQ(c.bfai(3), 1);
+    EXPECT_EQ(c.bfai(3), 2);
+    EXPECT_EQ(c.bfai(3), 3); // at ceiling: value returned, no increment
+    EXPECT_EQ(c.bfai(3), 3);
+  });
+  EXPECT_EQ(c.read(), 3);
+}
+
+class BfaiSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(BfaiSweep, NeverAboveCeilingAndAccountingExact) {
+  const u32 nprocs = GetParam();
+  const i64 kCeil = 10;
+  FunnelCounter<SimPlatform> c(nprocs, tight_params(2), Cfg{true, true, 0, kCeil}, 0);
+  auto effective_incs = std::make_unique<SimShared<u64>>(0);
+  auto effective_decs = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, 15);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 30; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::flip()) {
+        const i64 before = c.bfai(kCeil);
+        ASSERT_LE(before, kCeil);
+        ASSERT_GE(before, 0);
+        if (before < kCeil) effective_incs->fetch_add(1);
+      } else {
+        const i64 before = c.bfad(0);
+        ASSERT_GE(before, 0);
+        ASSERT_LE(before, kCeil);
+        if (before > 0) effective_decs->fetch_add(1);
+      }
+    }
+  });
+  EXPECT_GE(c.read(), 0);
+  EXPECT_LE(c.read(), kCeil);
+  EXPECT_EQ(c.read(), static_cast<i64>(effective_incs->load()) -
+                          static_cast<i64>(effective_decs->load()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BfaiSweep, ::testing::Values(2u, 8u, 32u, 64u));
+
+TEST(Bfai, FaiOnCeilingBoundedCounterAborts) {
+  FunnelCounter<SimPlatform> c(1, tight_params(1), Cfg{true, true, 0, 5}, 0);
+  sim::Engine eng(1);
+  EXPECT_DEATH(eng.run([&](ProcId) { c.fai(); }), "ceiling");
+}
+
+TEST(Bfai, EliminationAtTheCeilingStaysInBounds) {
+  // Counter pinned at the ceiling: eliminated inc/dec pairs must produce
+  // returns in [0, ceiling] and never move the counter above the ceiling.
+  const i64 kCeil = 2;
+  FunnelCounter<SimPlatform> c(16, tight_params(2), Cfg{true, true, 0, kCeil}, kCeil);
+  sim::Engine eng(16, {}, 17);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 20; ++i) {
+      if (SimPlatform::flip()) {
+        const i64 v = c.bfai(kCeil);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, kCeil);
+      } else {
+        const i64 v = c.bfad(0);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, kCeil);
+      }
+    }
+  });
+  EXPECT_GE(c.read(), 0);
+  EXPECT_LE(c.read(), kCeil);
+}
+
+} // namespace
+} // namespace fpq

@@ -1,0 +1,181 @@
+// Tests of the combining-funnel (elimination) stack — the funnel "bin" of
+// §3.2. Conservation, LIFO order at quiescence, emptiness cost, capacity
+// refusal, elimination on/off sweeps.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "funnel/stack.hpp"
+#include "platform/sim.hpp"
+
+namespace fpq {
+namespace {
+
+FunnelParams tight_params(u32 levels) {
+  FunnelParams p;
+  p.levels = levels;
+  for (u32 d = 0; d < kMaxFunnelLevels; ++d) {
+    p.width[d] = 2;
+    p.spin[d] = 8;
+  }
+  p.attempts = 3;
+  return p;
+}
+
+TEST(FunnelStack, SequentialLifo) {
+  FunnelStack<SimPlatform> st(1, tight_params(1), 64);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(st.empty());
+    for (u64 i = 0; i < 8; ++i) EXPECT_TRUE(st.push(i));
+    EXPECT_EQ(st.size(), 8u);
+    for (u64 i = 8; i-- > 0;) {
+      auto v = st.pop();
+      ASSERT_TRUE(v.has_value());
+      EXPECT_EQ(*v, i);
+    }
+    EXPECT_TRUE(st.empty());
+    EXPECT_FALSE(st.pop().has_value());
+  });
+}
+
+TEST(FunnelStack, PopOnEmptyReturnsNullopt) {
+  FunnelStack<SimPlatform> st(4, tight_params(1), 16);
+  auto empties = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(4);
+  eng.run([&](ProcId) {
+    for (int i = 0; i < 10; ++i)
+      if (!st.pop()) empties->fetch_add(1);
+  });
+  EXPECT_EQ(empties->load(), 40u);
+}
+
+TEST(FunnelStack, CapacityRefusalReportsFalse) {
+  FunnelStack<SimPlatform> st(1, tight_params(1), 3);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(st.push(1));
+    EXPECT_TRUE(st.push(2));
+    EXPECT_TRUE(st.push(3));
+    EXPECT_FALSE(st.push(4));
+    EXPECT_EQ(st.size(), 3u);
+    st.pop();
+    EXPECT_TRUE(st.push(5));
+  });
+}
+
+TEST(FunnelStack, SentinelItemRejected) {
+  FunnelStack<SimPlatform> st(1, tight_params(1), 4);
+  sim::Engine eng(1);
+  EXPECT_DEATH(eng.run([&](ProcId) { st.push(kNoEntry); }), "sentinel");
+}
+
+struct StackCase {
+  u32 nprocs;
+  u32 levels;
+  bool eliminate;
+  u64 seed;
+};
+
+class FunnelStackSweep : public ::testing::TestWithParam<StackCase> {};
+
+TEST_P(FunnelStackSweep, ConcurrentConservation) {
+  const auto [nprocs, levels, eliminate, seed] = GetParam();
+  FunnelStack<SimPlatform> st(nprocs, tight_params(levels), 1u << 14, eliminate);
+  std::vector<std::vector<u64>> popped(nprocs);
+  std::vector<u64> pushed_count(nprocs, 0);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 30; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::flip()) {
+        ASSERT_TRUE(st.push((static_cast<u64>(id) << 32) | i));
+        ++pushed_count[id];
+      } else if (auto v = st.pop()) {
+        popped[id].push_back(*v);
+      }
+    }
+  });
+  // Drain at quiescence.
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto v = st.pop()) popped[0].push_back(*v);
+  });
+  u64 pushed_total = 0;
+  for (u64 c : pushed_count) pushed_total += c;
+  std::multiset<u64> all;
+  for (const auto& v : popped) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), pushed_total) << "items lost or duplicated";
+  std::set<u64> uniq(all.begin(), all.end());
+  EXPECT_EQ(uniq.size(), all.size());
+  EXPECT_TRUE(st.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FunnelStackSweep,
+    ::testing::Values(StackCase{2, 1, true, 1}, StackCase{4, 2, true, 2},
+                      StackCase{8, 2, true, 3}, StackCase{16, 2, true, 4},
+                      StackCase{32, 3, true, 5}, StackCase{64, 3, true, 6},
+                      StackCase{128, 3, true, 7}, StackCase{8, 2, false, 8},
+                      StackCase{32, 3, false, 9}, StackCase{64, 4, false, 10},
+                      StackCase{256, 3, true, 11}));
+
+TEST(FunnelStack, EmptyIsSingleRead) {
+  FunnelStack<SimPlatform> st(2, tight_params(1), 16);
+  sim::Engine eng(2);
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    st.push(1);
+    const u64 reads_before = SimPlatform::engine().mem_stats().reads;
+    (void)st.empty();
+    EXPECT_EQ(SimPlatform::engine().mem_stats().reads, reads_before + 1);
+  });
+}
+
+TEST(FunnelStack, PopsSeeLatestPushAtQuiescence) {
+  FunnelStack<SimPlatform> st(4, tight_params(2), 256);
+  sim::Engine eng(4, {}, 21);
+  eng.run([&](ProcId id) {
+    st.push(100 + id);
+  });
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    // All four pushed items must be there, values from the pushed set.
+    std::set<u64> got;
+    for (int i = 0; i < 4; ++i) {
+      auto v = st.pop();
+      ASSERT_TRUE(v.has_value());
+      got.insert(*v);
+    }
+    EXPECT_EQ(got, (std::set<u64>{100, 101, 102, 103}));
+  });
+}
+
+TEST(FunnelStack, HeavyPopPressureNeverFabricatesItems) {
+  // Far more pops than pushes: every popped value must be a pushed value.
+  const u32 nprocs = 32;
+  FunnelStack<SimPlatform> st(nprocs, tight_params(3), 4096);
+  auto bad = std::make_unique<SimShared<u64>>(0);
+  auto popped_n = std::make_unique<SimShared<u64>>(0);
+  auto pushed_n = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, 43);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 40; ++i) {
+      if (SimPlatform::rnd(100) < 20) {
+        st.push(7777);
+        pushed_n->fetch_add(1);
+      } else if (auto v = st.pop()) {
+        popped_n->fetch_add(1);
+        if (*v != 7777) bad->fetch_add(1);
+      }
+      (void)id;
+    }
+  });
+  EXPECT_EQ(bad->load(), 0u);
+  EXPECT_LE(popped_n->load(), pushed_n->load());
+}
+
+} // namespace
+} // namespace fpq

@@ -1,0 +1,125 @@
+// HuntEtAl-specific tests: the bit-reversal slot sequence, heap invariants
+// at quiescence, capacity behavior, and a regression stress for the
+// pid-tag stranding livelock (an insert must never abandon its own tag).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/sim.hpp"
+#include "pq/hunt_pq.hpp"
+
+namespace fpq {
+namespace {
+
+using Hunt = HuntPq<SimPlatform>;
+
+TEST(HuntBitReversal, FirstFifteenSlots) {
+  // Within each level, successive insertions visit slots in bit-reversed
+  // order: level of 8 goes 8, 12, 10, 14, 9, 13, 11, 15.
+  const u64 expect[] = {1, 2, 3, 4, 6, 5, 7, 8, 12, 10, 14, 9, 13, 11, 15};
+  for (u64 s = 1; s <= 15; ++s) EXPECT_EQ(Hunt::bit_reversed(s), expect[s - 1]) << s;
+}
+
+TEST(HuntBitReversal, IsAPermutationOfEachLevel) {
+  for (u64 level = 1; level <= 64; level <<= 1) {
+    std::set<u64> slots;
+    for (u64 s = level; s < 2 * level; ++s) {
+      const u64 slot = Hunt::bit_reversed(s);
+      EXPECT_GE(slot, level);
+      EXPECT_LT(slot, 2 * level);
+      slots.insert(slot);
+    }
+    EXPECT_EQ(slots.size(), level);
+  }
+}
+
+TEST(HuntBitReversal, ConsecutiveSlotsShareNoDeepAncestors) {
+  // The point of bit-reversal: successive inserts climb disjoint paths.
+  // For siblings s and s+1 within a level of >= 4, the slots' parents
+  // differ.
+  for (u64 s = 8; s < 15; ++s) {
+    const u64 a = Hunt::bit_reversed(s) >> 1;
+    const u64 b = Hunt::bit_reversed(s + 1) >> 1;
+    EXPECT_NE(a, b) << "s=" << s;
+  }
+}
+
+TEST(HuntHeap, InvariantHoldsAtQuiescenceAfterConcurrency) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    PqParams params{.npriorities = 32, .maxprocs = 8};
+    Hunt pq(params);
+    sim::Engine eng(8, {}, seed);
+    eng.run([&](ProcId id) {
+      for (u32 i = 0; i < 30; ++i) {
+        if (SimPlatform::rnd(100) < 65)
+          ASSERT_TRUE(pq.insert(static_cast<Prio>(SimPlatform::rnd(32)), id * 100 + i));
+        else
+          pq.delete_min();
+      }
+    });
+    EXPECT_TRUE(pq.heap_invariant_holds()) << "seed " << seed;
+  }
+}
+
+TEST(HuntHeap, CapacityRefusal) {
+  PqParams params{.npriorities = 4, .maxprocs = 1};
+  params.heap_capacity = 3;
+  Hunt pq(params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_TRUE(pq.insert(0, 1));
+    EXPECT_TRUE(pq.insert(1, 2));
+    EXPECT_TRUE(pq.insert(2, 3));
+    EXPECT_FALSE(pq.insert(3, 4));
+    EXPECT_TRUE(pq.delete_min().has_value());
+    EXPECT_TRUE(pq.insert(3, 4));
+  });
+}
+
+TEST(HuntHeap, StrandedTagRegression) {
+  // Regression for the livelock where an insert stopped on a transiently
+  // EMPTY parent, stranding its pid tag: heavy insert traffic into a tiny
+  // heap with concurrent deleters. Every run must terminate and conserve.
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    PqParams params{.npriorities = 4, .maxprocs = 12};
+    Hunt pq(params);
+    auto net = std::make_unique<SimShared<i64>>(0);
+    sim::Engine eng(12, {}, seed);
+    eng.run([&](ProcId) {
+      for (u32 i = 0; i < 25; ++i) {
+        if (SimPlatform::flip()) {
+          ASSERT_TRUE(pq.insert(static_cast<Prio>(SimPlatform::rnd(4)), i + 1));
+          net->fetch_add(1);
+        } else if (pq.delete_min()) {
+          net->fetch_add(-1);
+        }
+      }
+    });
+    i64 drained = 0;
+    eng.run([&](ProcId id) {
+      if (id != 0) return;
+      while (pq.delete_min()) ++drained;
+    });
+    EXPECT_EQ(drained, net->load()) << "seed " << seed;
+  }
+}
+
+TEST(HuntHeap, SoloMatchesPriorityOrderWithDuplicates) {
+  PqParams params{.npriorities = 4, .maxprocs = 1};
+  Hunt pq(params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    const Prio ps[] = {3, 1, 2, 1, 0, 3, 0, 2};
+    for (u32 i = 0; i < 8; ++i) ASSERT_TRUE(pq.insert(ps[i], i));
+    Prio prev = 0;
+    for (u32 i = 0; i < 8; ++i) {
+      auto e = pq.delete_min();
+      ASSERT_TRUE(e.has_value());
+      EXPECT_GE(e->prio, prev);
+      prev = e->prio;
+    }
+  });
+}
+
+} // namespace
+} // namespace fpq

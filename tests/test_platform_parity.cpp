@@ -1,0 +1,78 @@
+// Differential testing across backends: the same single-processor
+// operation sequence must produce identical results on SimPlatform and
+// NativePlatform — the Platform policy must not leak into semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/native.hpp"
+#include "platform/sim.hpp"
+
+namespace fpq {
+namespace {
+
+struct Op {
+  bool insert;
+  Prio prio;
+  Item item;
+};
+
+std::vector<Op> script(u32 npriorities, u64 seed, u32 n) {
+  std::vector<Op> ops;
+  Xorshift rng(seed);
+  for (u32 i = 0; i < n; ++i)
+    ops.push_back({rng.below(100) < 60, static_cast<Prio>(rng.below(npriorities)),
+                   1000 + i});
+  return ops;
+}
+
+struct Outcome {
+  bool present;
+  Entry entry;
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+template <Platform P>
+std::vector<Outcome> run_script(Algorithm algo, const std::vector<Op>& ops) {
+  PqParams params{.npriorities = 32, .maxprocs = 1};
+  params.seed = 7; // fixed so SkipList levels agree across backends
+  auto pq = make_priority_queue<P>(algo, params);
+  std::vector<Outcome> out;
+  P::run(1, [&](ProcId) {
+    for (const Op& op : ops) {
+      if (op.insert) {
+        ASSERT_TRUE(pq->insert(op.prio, op.item));
+      } else {
+        const auto e = pq->delete_min();
+        out.push_back({e.has_value(), e.value_or(Entry{})});
+      }
+    }
+    while (auto e = pq->delete_min()) out.push_back({true, *e});
+  });
+  return out;
+}
+
+class PlatformParity : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(PlatformParity, SequentialRunsAgreeAcrossBackends) {
+  const Algorithm algo = GetParam();
+  for (u64 seed : {1ull, 2ull, 3ull}) {
+    const auto ops = script(32, seed, 300);
+    const auto sim_out = run_script<SimPlatform>(algo, ops);
+    const auto native_out = run_script<NativePlatform>(algo, ops);
+    ASSERT_EQ(sim_out.size(), native_out.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < sim_out.size(); ++i) {
+      EXPECT_EQ(sim_out[i], native_out[i])
+          << to_string(algo) << " diverged at op " << i << " (seed " << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, PlatformParity, ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+} // namespace
+} // namespace fpq

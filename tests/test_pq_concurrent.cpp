@@ -1,0 +1,225 @@
+// Concurrent integration tests: every queue algorithm, parameterized over
+// processor counts and priority ranges, driven on the simulated machine.
+// Checks: item conservation, quiescent-phase consistency (paper Appendix
+// B), and empty-delete accounting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "verify/quiescent.hpp"
+
+namespace fpq {
+namespace {
+
+struct ConcCase {
+  Algorithm algo;
+  u32 nprocs;
+  u32 npriorities;
+  u64 seed;
+};
+
+void PrintTo(const ConcCase& c, std::ostream* os) {
+  *os << to_string(c.algo) << "_P" << c.nprocs << "_N" << c.npriorities << "_s"
+      << c.seed;
+}
+
+class ConcurrentQueue : public ::testing::TestWithParam<ConcCase> {};
+
+TEST_P(ConcurrentQueue, ConservationUnderMixedLoad) {
+  const auto [algo, nprocs, npriorities, seed] = GetParam();
+  PqParams params{.npriorities = npriorities, .maxprocs = nprocs,
+                  .bin_capacity = 1u << 13};
+  params.seed = seed;
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+
+  std::vector<std::vector<Entry>> inserted(nprocs), deleted(nprocs);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 40; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(128));
+      if (SimPlatform::flip()) {
+        const Entry e{static_cast<Prio>(SimPlatform::rnd(npriorities)),
+                      (static_cast<u64>(id) << 24) | i};
+        ASSERT_TRUE(pq->insert(e.prio, e.item));
+        inserted[id].push_back(e);
+      } else if (auto e = pq->delete_min()) {
+        deleted[id].push_back(*e);
+      }
+    }
+  });
+  // Drain at quiescence.
+  std::vector<Entry> drained;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto e = pq->delete_min()) drained.push_back(*e);
+  });
+
+  std::vector<Entry> all_inserted, all_out(drained);
+  for (const auto& v : inserted) all_inserted.insert(all_inserted.end(), v.begin(), v.end());
+  for (const auto& v : deleted) all_out.insert(all_out.end(), v.begin(), v.end());
+  EXPECT_TRUE(same_entries(all_inserted, all_out))
+      << "inserted " << all_inserted.size() << " entries, got back "
+      << all_out.size();
+}
+
+std::vector<ConcCase> concurrent_cases() {
+  std::vector<ConcCase> cases;
+  for (Algorithm a : all_algorithms()) {
+    cases.push_back({a, 2, 16, 1});
+    cases.push_back({a, 4, 16, 2});
+    cases.push_back({a, 8, 16, 3});
+    cases.push_back({a, 16, 16, 4});
+    cases.push_back({a, 8, 1, 5});
+    cases.push_back({a, 8, 2, 6});
+    cases.push_back({a, 8, 100, 7});
+    cases.push_back({a, 16, 16, 8});
+  }
+  // The scalable four also get a high-concurrency hammering.
+  for (Algorithm a : scalable_algorithms()) {
+    cases.push_back({a, 64, 16, 9});
+    cases.push_back({a, 64, 128, 10});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConcurrentQueue,
+                         ::testing::ValuesIn(concurrent_cases()),
+                         ::testing::PrintToStringParamName());
+
+class QuiescentPhases : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(QuiescentPhases, EachPhaseSatisfiesAppendixB) {
+  const Algorithm algo = GetParam();
+  const u32 nprocs = 8, npriorities = 16;
+  PqParams params{.npriorities = npriorities, .maxprocs = nprocs,
+                  .bin_capacity = 1u << 12};
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  sim::Engine eng(nprocs, {}, 77);
+
+  std::vector<Entry> content; // queue content at the current quiescent point
+  for (u32 phase = 0; phase < 6; ++phase) {
+    std::vector<std::vector<Entry>> ins(nprocs), del(nprocs);
+    eng.run([&](ProcId id) {
+      for (u32 i = 0; i < 15; ++i) {
+        SimPlatform::delay(SimPlatform::rnd(96));
+        if (SimPlatform::rnd(100) < 60) {
+          const Entry e{static_cast<Prio>(SimPlatform::rnd(npriorities)),
+                        (static_cast<u64>(phase) << 32) |
+                            (static_cast<u64>(id) << 16) | i};
+          ASSERT_TRUE(pq->insert(e.prio, e.item));
+          ins[id].push_back(e);
+        } else if (auto e = pq->delete_min()) {
+          del[id].push_back(*e);
+        }
+      }
+    });
+    std::vector<Entry> inserted, deleted;
+    for (const auto& v : ins) inserted.insert(inserted.end(), v.begin(), v.end());
+    for (const auto& v : del) deleted.insert(deleted.end(), v.begin(), v.end());
+
+    if (algo != Algorithm::kSkipList) {
+      // SkipList's stale delete bin can exceed the Appendix-B priority
+      // bound by design (see skiplist_pq.hpp); conservation still holds.
+      const auto r = check_quiescent_phase(content, inserted, deleted);
+      EXPECT_TRUE(r.ok) << "phase " << phase << ": " << r.diagnostic;
+    }
+
+    // Maintain the content multiset for the next phase.
+    std::map<std::pair<Prio, Item>, i64> ms;
+    for (const Entry& e : content) ++ms[{e.prio, e.item}];
+    for (const Entry& e : inserted) ++ms[{e.prio, e.item}];
+    for (const Entry& e : deleted) {
+      const i64 left = --ms[std::make_pair(e.prio, e.item)];
+      ASSERT_GE(left, 0) << "phase " << phase << " lost item";
+    }
+    content.clear();
+    for (const auto& [k, n] : ms)
+      for (i64 j = 0; j < n; ++j) content.push_back({k.first, k.second});
+  }
+
+  // Final full drain must produce exactly the tracked content.
+  std::vector<Entry> drained;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (auto e = pq->delete_min()) drained.push_back(*e);
+  });
+  EXPECT_TRUE(same_entries(drained, content));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, QuiescentPhases,
+                         ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+class HeavyDeleters : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(HeavyDeleters, EmptyDeletesDontCorruptState) {
+  // 80% deletes on a starved queue: empty results must be frequent and the
+  // few items must all surface exactly once.
+  const Algorithm algo = GetParam();
+  const u32 nprocs = 16;
+  PqParams params{.npriorities = 8, .maxprocs = nprocs};
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  auto inserted_n = std::make_unique<SimShared<u64>>(0);
+  auto deleted_n = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, 55);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 30; ++i) {
+      if (SimPlatform::rnd(100) < 20) {
+        ASSERT_TRUE(pq->insert(static_cast<Prio>(SimPlatform::rnd(8)), i));
+        inserted_n->fetch_add(1);
+      } else if (pq->delete_min()) {
+        deleted_n->fetch_add(1);
+      }
+    }
+  });
+  u64 drained = 0;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (pq->delete_min()) ++drained;
+  });
+  EXPECT_EQ(deleted_n->load() + drained, inserted_n->load());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, HeavyDeleters,
+                         ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(ConcurrentQueue, InterleavedPhasesKeepWorking) {
+  // Alternate heavy-insert and heavy-delete phases; sizes must track.
+  PqParams params{.npriorities = 16, .maxprocs = 8, .bin_capacity = 1u << 12};
+  auto pq = make_priority_queue<SimPlatform>(Algorithm::kFunnelTree, params);
+  sim::Engine eng(8, {}, 5);
+  auto net = std::make_unique<SimShared<i64>>(0);
+  for (int phase = 0; phase < 4; ++phase) {
+    const bool inserting = (phase % 2 == 0);
+    eng.run([&](ProcId) {
+      for (u32 i = 0; i < 25; ++i) {
+        if (inserting) {
+          ASSERT_TRUE(pq->insert(static_cast<Prio>(SimPlatform::rnd(16)), i));
+          net->fetch_add(1);
+        } else if (pq->delete_min()) {
+          net->fetch_add(-1);
+        }
+      }
+    });
+  }
+  i64 remaining = 0;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (pq->delete_min()) ++remaining;
+  });
+  EXPECT_EQ(remaining, net->load());
+}
+
+} // namespace
+} // namespace fpq

@@ -1,0 +1,154 @@
+// Linearizability checking of the algorithms the paper classifies as
+// linearizable (SingleLock, HuntEtAl, SimpleLinear): record small
+// concurrent histories on the simulator and verify a valid linearization
+// exists; sweep seeds for interleaving coverage.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace fpq {
+namespace {
+
+History record_history(Algorithm algo, u32 nprocs, u32 ops_per_proc, u64 seed) {
+  PqParams params{.npriorities = 8, .maxprocs = nprocs};
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  HistoryRecorder rec(nprocs);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < ops_per_proc; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::rnd(100) < 60) {
+        const Entry e{static_cast<Prio>(SimPlatform::rnd(8)),
+                      (static_cast<u64>(id) << 16) | i};
+        const Cycles t0 = SimPlatform::now();
+        pq->insert(e.prio, e.item);
+        rec.record(OpRecord::insert_op(id, t0, SimPlatform::now(), e));
+      } else {
+        const Cycles t0 = SimPlatform::now();
+        auto e = pq->delete_min();
+        rec.record(OpRecord::delete_op(id, t0, SimPlatform::now(), e));
+      }
+    }
+  });
+  return rec.merged();
+}
+
+struct LinCase {
+  Algorithm algo;
+  u64 seed;
+};
+
+void PrintTo(const LinCase& c, std::ostream* os) {
+  *os << to_string(c.algo) << "_s" << c.seed;
+}
+
+class Linearizable : public ::testing::TestWithParam<LinCase> {};
+
+std::string dump(const History& h) {
+  std::ostringstream os;
+  for (const OpRecord& op : h) {
+    os << "  p" << op.proc << " ";
+    if (op.kind == OpRecord::Kind::kInsert)
+      os << "ins(" << op.entry.prio << "," << op.entry.item << ")";
+    else if (op.result_present)
+      os << "del->(" << op.entry.prio << "," << op.entry.item << ")";
+    else
+      os << "del->empty";
+    os << " [" << op.invoked << "," << op.responded << "]\n";
+  }
+  return os.str();
+}
+
+TEST_P(Linearizable, SingleLockAlwaysLinearizes) {
+  // SingleLock holds one lock across whole operations: every history must
+  // linearize, for every seed.
+  const auto [algo, seed] = GetParam();
+  const History h = record_history(algo, 3, 4, seed);
+  ASSERT_LE(h.size(), 12u);
+  const auto r = check_linearizable(h);
+  EXPECT_TRUE(r.linearizable) << to_string(algo) << " produced a"
+                              << " non-linearizable history (seed " << seed
+                              << "):\n" << dump(h);
+  if (r.linearizable) {
+    EXPECT_EQ(r.order.size(), h.size());
+  }
+}
+
+std::vector<LinCase> lin_cases() {
+  std::vector<LinCase> cases;
+  for (u64 s = 1; s <= 16; ++s) cases.push_back({Algorithm::kSingleLock, s});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Linearizable, ::testing::ValuesIn(lin_cases()),
+                         ::testing::PrintToStringParamName());
+
+class MostlyLinearizable : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(MostlyLinearizable, HuntAndSimpleLinearAdmitRareViolations) {
+  // Reproduction finding (EXPERIMENTS.md, "Consistency"): the paper
+  // classifies HuntEtAl and SimpleLinear as linearizable, but our checker
+  // exhibits counterexample traces —
+  //   * SimpleLinear: a delete-min scan passes bin 0, an insert(0)
+  //     completes behind the scan, and the delete returns a larger
+  //     priority even though the prio-0 item was present for the entire
+  //     remainder of the operation;
+  //   * HuntEtAl: while one deleter's sift-down is in flight the root
+  //     transiently holds a large item, and a second deleter returns it
+  //     over a smaller settled item.
+  // Both stay quiescently consistent (conservation and phase tests
+  // elsewhere). Here we require histories to be *mostly* linearizable and
+  // report the violation rate; a correctness bug (lost/duplicated items)
+  // would fail every seed.
+  const Algorithm algo = GetParam();
+  u32 linearizable = 0, total = 0;
+  for (u64 seed = 1; seed <= 16; ++seed) {
+    const History h = record_history(algo, 3, 4, seed);
+    if (h.size() > 16) continue;
+    ++total;
+    if (check_linearizable(h).linearizable) ++linearizable;
+  }
+  ASSERT_GT(total, 10u);
+  EXPECT_GE(linearizable * 4, total * 3)
+      << to_string(algo) << ": only " << linearizable << "/" << total
+      << " histories linearized";
+  ::testing::Test::RecordProperty("linearizable", static_cast<int>(linearizable));
+  ::testing::Test::RecordProperty("total", static_cast<int>(total));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MostlyLinearizable,
+                         ::testing::Values(Algorithm::kHuntEtAl,
+                                           Algorithm::kSimpleLinear),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Linearizable, LargerHistoryOnSingleLock) {
+  // SingleLock serializes everything; even a 20-op history must check out.
+  const History h = record_history(Algorithm::kSingleLock, 4, 5, 42);
+  ASSERT_LE(h.size(), 20u);
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+TEST(HistoryRecorder, MergesSortedByInvocation) {
+  HistoryRecorder rec(2);
+  rec.record(OpRecord::insert_op(0, 10, 20, {1, 100}));
+  rec.record(OpRecord::insert_op(0, 30, 40, {2, 200}));
+  rec.record(OpRecord::insert_op(1, 5, 15, {3, 300}));
+  rec.record(OpRecord::insert_op(1, 25, 35, {4, 400}));
+  const History h = rec.merged();
+  ASSERT_EQ(h.size(), 4u);
+  EXPECT_EQ(h[0].entry.prio, 3u);
+  EXPECT_EQ(h[1].entry.prio, 1u);
+  EXPECT_EQ(h[2].entry.prio, 4u);
+  EXPECT_EQ(h[3].entry.prio, 2u);
+}
+
+} // namespace
+} // namespace fpq

@@ -1,0 +1,202 @@
+// Sequential conformance: each queue, driven by one processor, must match
+// the reference ModelPq operation-for-operation (except SkipList, whose
+// delete-bin scheme deliberately relaxes per-operation minimality — for it
+// we check conservation and priority agreement at drain).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "verify/model_pq.hpp"
+#include "verify/quiescent.hpp"
+
+namespace fpq {
+namespace {
+
+struct SeqCase {
+  Algorithm algo;
+  u32 npriorities;
+  u64 seed;
+};
+
+void PrintTo(const SeqCase& c, std::ostream* os) {
+  *os << to_string(c.algo) << "_N" << c.npriorities << "_s" << c.seed;
+}
+
+class SequentialConformance : public ::testing::TestWithParam<SeqCase> {};
+
+TEST_P(SequentialConformance, MatchesModelExactly) {
+  const auto [algo, npriorities, seed] = GetParam();
+  PqParams params{.npriorities = npriorities, .maxprocs = 1, .bin_capacity = 4096};
+  params.seed = seed;
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  ModelPq model;
+  Xorshift rng(seed);
+  const bool exact = algo != Algorithm::kSkipList;
+
+  sim::Engine eng(1, {}, seed);
+  eng.run([&](ProcId) {
+    u64 inserted = 0, deleted_q = 0, deleted_m = 0;
+    for (u32 step = 0; step < 400; ++step) {
+      if (rng.below(100) < 55) {
+        const Prio p = static_cast<Prio>(rng.below(npriorities));
+        const Item v = 1000 + step;
+        ASSERT_TRUE(pq->insert(p, v));
+        model.insert(p, v);
+        ++inserted;
+      } else {
+        const auto got = pq->delete_min();
+        if (exact) {
+          // Exact minimality: the returned priority must be the model's
+          // minimum; the tie order among equal priorities is unspecified
+          // (Appendix B footnote), so items are checked by membership.
+          ASSERT_EQ(got.has_value(), model.min_priority().has_value())
+              << "at step " << step;
+          if (got) {
+            EXPECT_EQ(got->prio, *model.min_priority()) << "at step " << step;
+            ASSERT_TRUE(model.remove(got->prio, got->item)) << "at step " << step;
+          }
+        } else if (got) {
+          // SkipList: whatever it returns must exist in the model.
+          ASSERT_TRUE(model.remove(got->prio, got->item))
+              << "SkipList returned an item that was never inserted/was "
+                 "already deleted";
+        }
+        if (got) ++deleted_q;
+      }
+    }
+    // Drain both and compare remaining content as multisets.
+    std::vector<Entry> left_q, left_m;
+    while (auto e = pq->delete_min()) left_q.push_back(*e);
+    while (auto e = model.delete_min()) left_m.push_back(*e);
+    EXPECT_TRUE(same_entries(left_q, left_m));
+    (void)inserted;
+    (void)deleted_m;
+  });
+}
+
+std::vector<SeqCase> sequential_cases() {
+  std::vector<SeqCase> cases;
+  for (Algorithm a : all_algorithms()) {
+    for (u32 n : {1u, 2u, 16u, 100u}) {
+      cases.push_back({a, n, 7});
+    }
+    cases.push_back({a, 16, 99});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, SequentialConformance,
+                         ::testing::ValuesIn(sequential_cases()),
+                         ::testing::PrintToStringParamName());
+
+class DrainOrder : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(DrainOrder, FreshQueueDrainsSorted) {
+  const Algorithm algo = GetParam();
+  PqParams params{.npriorities = 64, .maxprocs = 1, .bin_capacity = 4096};
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  sim::Engine eng(1, {}, 3);
+  eng.run([&](ProcId) {
+    Xorshift rng(5);
+    for (u32 i = 0; i < 200; ++i)
+      ASSERT_TRUE(pq->insert(static_cast<Prio>(rng.below(64)), i));
+    std::vector<Entry> drained;
+    while (auto e = pq->delete_min()) drained.push_back(*e);
+    ASSERT_EQ(drained.size(), 200u);
+    const auto r = check_drain_sorted(drained);
+    EXPECT_TRUE(r.ok) << r.diagnostic;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, DrainOrder, ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+class EmptyBehavior : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(EmptyBehavior, DeleteMinOnEmptyIsNullopt) {
+  PqParams params{.npriorities = 8, .maxprocs = 1};
+  auto pq = make_priority_queue<SimPlatform>(GetParam(), params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_FALSE(pq->delete_min().has_value());
+    pq->insert(3, 42);
+    auto e = pq->delete_min();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->prio, 3u);
+    EXPECT_EQ(e->item, 42u);
+    EXPECT_FALSE(pq->delete_min().has_value());
+    // And again after cycling (regression: state left by a delete must not
+    // wedge the next insert).
+    pq->insert(7, 1);
+    pq->insert(0, 2);
+    EXPECT_EQ(pq->delete_min()->prio, 0u);
+    EXPECT_EQ(pq->delete_min()->prio, 7u);
+    EXPECT_FALSE(pq->delete_min().has_value());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, EmptyBehavior, ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+class SinglePriority : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(SinglePriority, DegeneratesToAPool) {
+  PqParams params{.npriorities = 1, .maxprocs = 1, .bin_capacity = 64};
+  auto pq = make_priority_queue<SimPlatform>(GetParam(), params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    for (u64 i = 0; i < 10; ++i) ASSERT_TRUE(pq->insert(0, i));
+    std::set<u64> got;
+    for (u64 i = 0; i < 10; ++i) {
+      auto e = pq->delete_min();
+      ASSERT_TRUE(e.has_value());
+      EXPECT_EQ(e->prio, 0u);
+      got.insert(e->item);
+    }
+    EXPECT_EQ(got.size(), 10u);
+    EXPECT_FALSE(pq->delete_min().has_value());
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, SinglePriority, ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(PqParamsValidation, RejectsNonsense) {
+  PqParams p;
+  p.npriorities = 0;
+  EXPECT_DEATH(p.validate(), "npriorities");
+  p = PqParams{};
+  p.maxprocs = 0;
+  EXPECT_DEATH(p.validate(), "maxprocs");
+  p = PqParams{};
+  p.bin_capacity = 0;
+  EXPECT_DEATH(p.validate(), "bin_capacity");
+}
+
+TEST(Registry, NamesRoundTrip) {
+  for (Algorithm a : all_algorithms()) {
+    EXPECT_EQ(algorithm_from_string(to_string(a)), a);
+  }
+  EXPECT_THROW(algorithm_from_string("NoSuchQueue"), std::invalid_argument);
+  EXPECT_EQ(all_algorithms().size(), 7u);
+  EXPECT_EQ(scalable_algorithms().size(), 4u);
+}
+
+TEST(Registry, OutOfRangePriorityAborts) {
+  PqParams params{.npriorities = 4, .maxprocs = 1};
+  auto pq = make_priority_queue<SimPlatform>(Algorithm::kSimpleLinear, params);
+  sim::Engine eng(1);
+  EXPECT_DEATH(eng.run([&](ProcId) { pq->insert(4, 1); }), "bounded range");
+}
+
+} // namespace
+} // namespace fpq

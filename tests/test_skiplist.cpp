@@ -1,0 +1,130 @@
+// SkipList-specific tests: threading state machine, first-link tracking,
+// level distribution, and a regression hammer for the delete-bin item
+// stranding race that the paper's pseudo-code loses (skiplist_pq.hpp
+// rescues the outgoing bin at advance time).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "platform/sim.hpp"
+#include "pq/skiplist_pq.hpp"
+
+namespace fpq {
+namespace {
+
+using Skip = SkipListPq<SimPlatform>;
+
+TEST(SkipList, ThreadingFollowsContent) {
+  PqParams params{.npriorities = 8, .maxprocs = 1};
+  Skip pq(params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_FALSE(pq.is_threaded(3));
+    pq.insert(3, 100);
+    EXPECT_TRUE(pq.is_threaded(3));
+    EXPECT_EQ(pq.first_threaded(), 3u);
+    pq.insert(1, 200);
+    EXPECT_EQ(pq.first_threaded(), 1u);
+    // Deleting unthreads the first link (its bin becomes the delete bin).
+    auto e = pq.delete_min();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->prio, 1u);
+    EXPECT_FALSE(pq.is_threaded(1));
+    EXPECT_EQ(pq.first_threaded(), 3u);
+  });
+}
+
+TEST(SkipList, LevelsAreGeometricallyDistributed) {
+  PqParams params{.npriorities = 512, .maxprocs = 1};
+  params.seed = 1234;
+  Skip pq(params);
+  u32 level1 = 0, deep = 0;
+  for (Prio p = 0; p < 512; ++p) {
+    const u32 lv = pq.level_of(p);
+    EXPECT_GE(lv, 1u);
+    EXPECT_LE(lv, Skip::kMaxLevel);
+    if (lv == 1) ++level1;
+    if (lv >= 4) ++deep;
+  }
+  // Geometric p=1/2: ~50% at level 1, ~12.5% at level >= 4.
+  EXPECT_GT(level1, 200u);
+  EXPECT_LT(level1, 310u);
+  EXPECT_GT(deep, 30u);
+  EXPECT_LT(deep, 110u);
+}
+
+TEST(SkipList, ReinsertionRethreadsUnthreadedLink) {
+  PqParams params{.npriorities = 4, .maxprocs = 1};
+  Skip pq(params);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    pq.insert(2, 1);
+    EXPECT_EQ(pq.delete_min()->item, 1u); // unthreads link 2, drains del bin
+    EXPECT_FALSE(pq.is_threaded(2));
+    pq.insert(2, 5);
+    EXPECT_TRUE(pq.is_threaded(2));
+    EXPECT_EQ(pq.delete_min()->item, 5u);
+    EXPECT_FALSE(pq.delete_min().has_value());
+  });
+}
+
+TEST(SkipList, RescueRaceHammer) {
+  // The stranding scenario needs: link L is the delete bin, an insert to L
+  // lands while a deleter advances past L. Two priorities and heavy mixed
+  // traffic make this frequent; conservation must hold every time.
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    PqParams params{.npriorities = 2, .maxprocs = 12, .bin_capacity = 2048};
+    params.seed = seed;
+    Skip pq(params);
+    auto net = std::make_unique<SimShared<i64>>(0);
+    sim::Engine eng(12, {}, seed);
+    eng.run([&](ProcId) {
+      for (u32 i = 0; i < 30; ++i) {
+        if (SimPlatform::flip()) {
+          ASSERT_TRUE(pq.insert(static_cast<Prio>(SimPlatform::rnd(2)), i + 1));
+          net->fetch_add(1);
+        } else if (pq.delete_min()) {
+          net->fetch_add(-1);
+        }
+      }
+    });
+    i64 drained = 0;
+    eng.run([&](ProcId id) {
+      if (id != 0) return;
+      while (pq.delete_min()) ++drained;
+    });
+    EXPECT_EQ(drained, net->load()) << "items stranded (seed " << seed << ")";
+  }
+}
+
+TEST(SkipList, EmptyFirstThreadedIsSentinel) {
+  PqParams params{.npriorities = 8, .maxprocs = 1};
+  Skip pq(params);
+  EXPECT_EQ(pq.first_threaded(), 8u); // tail key == npriorities
+}
+
+TEST(SkipList, ManyPrioritiesConcurrentSmoke) {
+  PqParams params{.npriorities = 200, .maxprocs = 8};
+  Skip pq(params);
+  auto net = std::make_unique<SimShared<i64>>(0);
+  sim::Engine eng(8, {}, 3);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 40; ++i) {
+      if (SimPlatform::rnd(100) < 70) {
+        ASSERT_TRUE(pq.insert(static_cast<Prio>(SimPlatform::rnd(200)), i));
+        net->fetch_add(1);
+      } else if (pq.delete_min()) {
+        net->fetch_add(-1);
+      }
+    }
+  });
+  i64 drained = 0;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (pq.delete_min()) ++drained;
+  });
+  EXPECT_EQ(drained, net->load());
+}
+
+} // namespace
+} // namespace fpq

@@ -1,0 +1,189 @@
+// Self-tests of the consistency checkers: hand-built histories with known
+// verdicts (a checker that never rejects is worthless).
+#include <gtest/gtest.h>
+
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+#include "verify/model_pq.hpp"
+#include "verify/quiescent.hpp"
+
+namespace fpq {
+namespace {
+
+OpRecord ins(ProcId p, Cycles t0, Cycles t1, Prio prio, Item item) {
+  return OpRecord::insert_op(p, t0, t1, {prio, item});
+}
+OpRecord del(ProcId p, Cycles t0, Cycles t1, Prio prio, Item item) {
+  return OpRecord::delete_op(p, t0, t1, Entry{prio, item});
+}
+OpRecord del_empty(ProcId p, Cycles t0, Cycles t1) {
+  return OpRecord::delete_op(p, t0, t1, std::nullopt);
+}
+
+TEST(LinearizabilityChecker, AcceptsSequentialHistory) {
+  History h{ins(0, 0, 1, 5, 50), ins(0, 2, 3, 3, 30), del(0, 4, 5, 3, 30),
+            del(0, 6, 7, 5, 50), del_empty(0, 8, 9)};
+  const auto r = check_linearizable(h);
+  EXPECT_TRUE(r.linearizable);
+  ASSERT_EQ(r.order.size(), 5u);
+}
+
+TEST(LinearizabilityChecker, RejectsWrongMinimum) {
+  // Both inserts strictly precede the delete, so returning priority 5 while
+  // 3 is present is not linearizable.
+  History h{ins(0, 0, 1, 5, 50), ins(0, 2, 3, 3, 30), del(1, 10, 11, 5, 50)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(LinearizabilityChecker, AcceptsOverlapChoosingEitherOrder) {
+  // Two overlapping inserts; a delete after both may return either one...
+  History a{ins(0, 0, 10, 5, 50), ins(1, 0, 10, 3, 30), del(0, 20, 21, 3, 30)};
+  EXPECT_TRUE(check_linearizable(a).linearizable);
+  // ...but only the minimum of whatever is present: returning 5 while 3 is
+  // definitely inside is wrong.
+  History b{ins(0, 0, 10, 5, 50), ins(1, 0, 10, 3, 30), del(0, 20, 21, 5, 50)};
+  EXPECT_FALSE(check_linearizable(b).linearizable);
+}
+
+TEST(LinearizabilityChecker, DeleteOverlappingInsertMayClaimIt) {
+  // delete overlaps the insert of (1,10): legal to linearize insert first.
+  History h{ins(0, 0, 100, 1, 10), del(1, 50, 60, 1, 10)};
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+TEST(LinearizabilityChecker, RejectsDeleteBeforeAnyInsert) {
+  // The delete completes before the insert begins: nothing to return.
+  History h{del(1, 0, 5, 1, 10), ins(0, 10, 20, 1, 10)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(LinearizabilityChecker, RejectsDoubleDelete) {
+  History h{ins(0, 0, 1, 2, 20), del(0, 2, 3, 2, 20), del(1, 2, 4, 2, 20)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(LinearizabilityChecker, EmptyResultRequiresEmptyQueue) {
+  // insert finished before the delete started, nothing removed it: an
+  // empty result is impossible.
+  History h{ins(0, 0, 1, 2, 20), del_empty(1, 5, 6)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+  // But if they overlap, empty is fine (delete first).
+  History h2{ins(0, 0, 10, 2, 20), del_empty(1, 5, 6)};
+  EXPECT_TRUE(check_linearizable(h2).linearizable);
+}
+
+TEST(LinearizabilityChecker, RealTimeOrderBetweenDeletes) {
+  // insert 3 then insert 5 (sequential); two sequential deletes must
+  // return 3 first. Returning 5 then 3 is a real-time violation.
+  History good{ins(0, 0, 1, 3, 30), ins(0, 2, 3, 5, 50), del(0, 4, 5, 3, 30),
+               del(0, 6, 7, 5, 50)};
+  EXPECT_TRUE(check_linearizable(good).linearizable);
+  History bad{ins(0, 0, 1, 3, 30), ins(0, 2, 3, 5, 50), del(0, 4, 5, 5, 50),
+              del(0, 6, 7, 3, 30)};
+  EXPECT_FALSE(check_linearizable(bad).linearizable);
+}
+
+TEST(LinearizabilityChecker, TieOrderAmongEqualPrioritiesIsFree) {
+  History h{ins(0, 0, 1, 4, 1), ins(0, 2, 3, 4, 2), del(0, 4, 5, 4, 1),
+            del(0, 6, 7, 4, 2)};
+  EXPECT_TRUE(check_linearizable(h).linearizable);
+}
+
+TEST(QuiescentChecker, AcceptsExactMinimum) {
+  const std::vector<Entry> E{{1, 10}, {5, 50}, {9, 90}};
+  const auto r = check_quiescent_phase(E, {}, {{1, 10}});
+  EXPECT_TRUE(r.ok) << r.diagnostic;
+}
+
+TEST(QuiescentChecker, RejectsNonMinimumWithoutInserts) {
+  const std::vector<Entry> E{{1, 10}, {5, 50}, {9, 90}};
+  const auto r = check_quiescent_phase(E, {}, {{9, 90}});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(QuiescentChecker, InsertSlackPermitsReordering) {
+  // One overlapping insert pair lets a delete return the larger of the two.
+  const std::vector<Entry> E{};
+  const std::vector<Entry> I{{0, 1}, {5, 2}};
+  const auto r = check_quiescent_phase(E, I, {{5, 2}});
+  EXPECT_TRUE(r.ok) << r.diagnostic;
+}
+
+TEST(QuiescentChecker, RejectsForeignItems) {
+  const std::vector<Entry> E{{1, 10}};
+  const auto r = check_quiescent_phase(E, {}, {{1, 11}});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(QuiescentChecker, RejectsDuplicatedDeletion) {
+  const std::vector<Entry> E{{1, 10}};
+  const auto r = check_quiescent_phase(E, {}, {{1, 10}, {1, 10}});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(QuiescentChecker, RejectsMoreDeletesThanItems) {
+  const auto r = check_quiescent_phase({{1, 10}}, {}, {{1, 10}, {2, 20}});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(QuiescentChecker, EmptyPhaseIsFine) {
+  EXPECT_TRUE(check_quiescent_phase({}, {}, {}).ok);
+}
+
+TEST(DrainChecker, DetectsDisorder) {
+  EXPECT_TRUE(check_drain_sorted({{1, 1}, {1, 2}, {3, 3}}).ok);
+  EXPECT_FALSE(check_drain_sorted({{1, 1}, {3, 3}, {2, 2}}).ok);
+  EXPECT_TRUE(check_drain_sorted({}).ok);
+}
+
+TEST(SameEntries, MultisetSemantics) {
+  EXPECT_TRUE(same_entries({{1, 1}, {1, 1}, {2, 2}}, {{2, 2}, {1, 1}, {1, 1}}));
+  EXPECT_FALSE(same_entries({{1, 1}, {1, 1}}, {{1, 1}}));
+  EXPECT_FALSE(same_entries({{1, 1}}, {{1, 2}}));
+  EXPECT_TRUE(same_entries({}, {}));
+}
+
+TEST(ModelPq, BasicSemantics) {
+  ModelPq m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.delete_min().has_value());
+  m.insert(5, 50);
+  m.insert(3, 30);
+  m.insert(5, 51);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(*m.min_priority(), 3u);
+  EXPECT_TRUE(m.contains(5, 50));
+  EXPECT_FALSE(m.contains(5, 52));
+  auto e = m.delete_min();
+  EXPECT_EQ(e->prio, 3u);
+  // LIFO within a priority.
+  EXPECT_EQ(m.delete_min()->item, 51u);
+  EXPECT_EQ(m.delete_min()->item, 50u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(ModelPq, RemoveSpecific) {
+  ModelPq m;
+  m.insert(2, 20);
+  m.insert(2, 21);
+  EXPECT_TRUE(m.remove(2, 20));
+  EXPECT_FALSE(m.remove(2, 20));
+  EXPECT_TRUE(m.remove(2, 21));
+  EXPECT_TRUE(m.empty());
+  EXPECT_FALSE(m.remove(7, 1));
+}
+
+TEST(ModelPq, EntriesAscending) {
+  ModelPq m;
+  m.insert(9, 1);
+  m.insert(0, 2);
+  m.insert(4, 3);
+  const auto es = m.entries();
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0].prio, 0u);
+  EXPECT_EQ(es[1].prio, 4u);
+  EXPECT_EQ(es[2].prio, 9u);
+}
+
+} // namespace
+} // namespace fpq
