@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bounded_counter.dir/fig5_bounded_counter.cpp.o"
+  "CMakeFiles/fig5_bounded_counter.dir/fig5_bounded_counter.cpp.o.d"
+  "fig5_bounded_counter"
+  "fig5_bounded_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bounded_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

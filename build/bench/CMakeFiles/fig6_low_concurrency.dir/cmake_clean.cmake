@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_low_concurrency.dir/fig6_low_concurrency.cpp.o"
+  "CMakeFiles/fig6_low_concurrency.dir/fig6_low_concurrency.cpp.o.d"
+  "fig6_low_concurrency"
+  "fig6_low_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_low_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_high_concurrency.dir/fig7_high_concurrency.cpp.o"
+  "CMakeFiles/fig7_high_concurrency.dir/fig7_high_concurrency.cpp.o.d"
+  "fig7_high_concurrency"
+  "fig7_high_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_high_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

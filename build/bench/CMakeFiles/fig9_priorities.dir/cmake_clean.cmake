@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_priorities.dir/fig9_priorities.cpp.o"
+  "CMakeFiles/fig9_priorities.dir/fig9_priorities.cpp.o.d"
+  "fig9_priorities"
+  "fig9_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

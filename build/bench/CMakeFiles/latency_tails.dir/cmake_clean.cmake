@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_tails.dir/latency_tails.cpp.o"
+  "CMakeFiles/latency_tails.dir/latency_tails.cpp.o.d"
+  "latency_tails"
+  "latency_tails.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_tails.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_components.dir/native_components.cpp.o"
+  "CMakeFiles/native_components.dir/native_components.cpp.o.d"
+  "native_components"
+  "native_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

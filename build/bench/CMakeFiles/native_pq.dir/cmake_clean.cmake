@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_pq.dir/native_pq.cpp.o"
+  "CMakeFiles/native_pq.dir/native_pq.cpp.o.d"
+  "native_pq"
+  "native_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

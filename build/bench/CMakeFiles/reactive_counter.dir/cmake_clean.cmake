@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reactive_counter.dir/reactive_counter.cpp.o"
+  "CMakeFiles/reactive_counter.dir/reactive_counter.cpp.o.d"
+  "reactive_counter"
+  "reactive_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reactive_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alewife_repro.dir/alewife_repro.cpp.o"
+  "CMakeFiles/alewife_repro.dir/alewife_repro.cpp.o.d"
+  "alewife_repro"
+  "alewife_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alewife_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

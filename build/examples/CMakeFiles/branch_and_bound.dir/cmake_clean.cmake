@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_and_bound.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/branch_and_bound.dir/branch_and_bound.cpp.o.d"
+  "branch_and_bound"
+  "branch_and_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_and_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_event.dir/discrete_event.cpp.o"
+  "CMakeFiles/discrete_event.dir/discrete_event.cpp.o.d"
+  "discrete_event"
+  "discrete_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

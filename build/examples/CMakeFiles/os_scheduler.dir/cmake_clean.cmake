@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_scheduler.dir/os_scheduler.cpp.o"
+  "CMakeFiles/os_scheduler.dir/os_scheduler.cpp.o.d"
+  "os_scheduler"
+  "os_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/histogram.cpp" "src/CMakeFiles/funnelpq.dir/bench_support/histogram.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/bench_support/histogram.cpp.o.d"
+  "/root/repo/src/bench_support/stats.cpp" "src/CMakeFiles/funnelpq.dir/bench_support/stats.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/bench_support/stats.cpp.o.d"
+  "/root/repo/src/bench_support/table.cpp" "src/CMakeFiles/funnelpq.dir/bench_support/table.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/bench_support/table.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/funnelpq.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/core/registry.cpp.o.d"
+  "/root/repo/src/platform/native.cpp" "src/CMakeFiles/funnelpq.dir/platform/native.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/platform/native.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/funnelpq.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/funnelpq.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/funnelpq.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/verify/linearizability.cpp" "src/CMakeFiles/funnelpq.dir/verify/linearizability.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/verify/linearizability.cpp.o.d"
+  "/root/repo/src/verify/quiescent.cpp" "src/CMakeFiles/funnelpq.dir/verify/quiescent.cpp.o" "gcc" "src/CMakeFiles/funnelpq.dir/verify/quiescent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

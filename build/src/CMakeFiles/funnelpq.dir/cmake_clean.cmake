@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/funnelpq.dir/bench_support/histogram.cpp.o"
+  "CMakeFiles/funnelpq.dir/bench_support/histogram.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/bench_support/stats.cpp.o"
+  "CMakeFiles/funnelpq.dir/bench_support/stats.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/bench_support/table.cpp.o"
+  "CMakeFiles/funnelpq.dir/bench_support/table.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/core/registry.cpp.o"
+  "CMakeFiles/funnelpq.dir/core/registry.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/platform/native.cpp.o"
+  "CMakeFiles/funnelpq.dir/platform/native.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/sim/engine.cpp.o"
+  "CMakeFiles/funnelpq.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/sim/fiber.cpp.o"
+  "CMakeFiles/funnelpq.dir/sim/fiber.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/sim/memory.cpp.o"
+  "CMakeFiles/funnelpq.dir/sim/memory.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/verify/linearizability.cpp.o"
+  "CMakeFiles/funnelpq.dir/verify/linearizability.cpp.o.d"
+  "CMakeFiles/funnelpq.dir/verify/quiescent.cpp.o"
+  "CMakeFiles/funnelpq.dir/verify/quiescent.cpp.o.d"
+  "libfunnelpq.a"
+  "libfunnelpq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/funnelpq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bins_counters.cpp" "tests/CMakeFiles/fpq_tests.dir/test_bins_counters.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_bins_counters.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/fpq_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/fpq_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_funnel_counter.cpp" "tests/CMakeFiles/fpq_tests.dir/test_funnel_counter.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_funnel_counter.cpp.o.d"
+  "/root/repo/tests/test_funnel_params_grid.cpp" "tests/CMakeFiles/fpq_tests.dir/test_funnel_params_grid.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_funnel_params_grid.cpp.o.d"
+  "/root/repo/tests/test_funnel_stack.cpp" "tests/CMakeFiles/fpq_tests.dir/test_funnel_stack.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_funnel_stack.cpp.o.d"
+  "/root/repo/tests/test_hunt.cpp" "tests/CMakeFiles/fpq_tests.dir/test_hunt.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_hunt.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/fpq_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_native.cpp" "tests/CMakeFiles/fpq_tests.dir/test_native.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_native.cpp.o.d"
+  "/root/repo/tests/test_platform_parity.cpp" "tests/CMakeFiles/fpq_tests.dir/test_platform_parity.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_platform_parity.cpp.o.d"
+  "/root/repo/tests/test_pq_concurrent.cpp" "tests/CMakeFiles/fpq_tests.dir/test_pq_concurrent.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_pq_concurrent.cpp.o.d"
+  "/root/repo/tests/test_pq_linearizability.cpp" "tests/CMakeFiles/fpq_tests.dir/test_pq_linearizability.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_pq_linearizability.cpp.o.d"
+  "/root/repo/tests/test_pq_sequential.cpp" "tests/CMakeFiles/fpq_tests.dir/test_pq_sequential.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_pq_sequential.cpp.o.d"
+  "/root/repo/tests/test_reactive_histogram.cpp" "tests/CMakeFiles/fpq_tests.dir/test_reactive_histogram.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_reactive_histogram.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/fpq_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_skiplist.cpp" "tests/CMakeFiles/fpq_tests.dir/test_skiplist.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_skiplist.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/fpq_tests.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_sync.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/fpq_tests.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_verify.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/fpq_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/fpq_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/funnelpq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
