@@ -11,7 +11,8 @@ thread_local Engine* g_current = nullptr;
 Engine* Engine::current() { return g_current; }
 
 Engine::Engine(u32 nprocs, MachineParams params, u64 seed)
-    : memory_(nprocs, params), procs_(nprocs), stats_(nprocs), params_(params) {
+    : memory_(nprocs, params), procs_(nprocs), stats_(nprocs), params_(params),
+      sched_rng_(seed ^ 0xa5a5a5a5a5a5a5a5ull) {
   for (u32 i = 0; i < nprocs; ++i) procs_[i].rng = Xorshift(seed * 0x100000001b3ull + i);
 }
 
@@ -37,9 +38,38 @@ void Engine::yield_running() {
   procs_[running_].fiber.yield_out();
 }
 
+bool Engine::perturb(ProcId pid) {
+  const SchedParams& s = params_.sched;
+  if (s.policy == SchedulePolicy::kSmallestClock) return false;
+  if (runq_.empty()) return false; // sole runnable fiber: delaying it is a no-op
+  // Clamped below certainty: a policy that perturbs *every* decision would
+  // requeue forever without running anything.
+  const u64 permille = s.perturb_permille < 1000 ? s.perturb_permille : 999;
+  if (sched_rng_.below(1000) >= permille) return false;
+  Proc& p = procs_[pid];
+  switch (s.policy) {
+    case SchedulePolicy::kRandomPreempt:
+      p.clock += 1 + sched_rng_.below(s.max_delay);
+      break;
+    case SchedulePolicy::kDelayLeader: {
+      // Hold the front-runner behind the second-place fiber so their
+      // operations overlap instead of the leader racing ahead.
+      const Cycles runner_up = std::get<0>(runq_.top());
+      p.clock = runner_up + 1 + sched_rng_.below(s.max_delay);
+      break;
+    }
+    case SchedulePolicy::kSmallestClock: return false; // unreachable
+  }
+  schedule(pid);
+  return true;
+}
+
 void Engine::on_access(const void* addr, AccessKind kind) {
   if (g_current != this || running_ == kNoProc) return; // setup/teardown code
   Proc& p = procs_[running_];
+  // Schedule exploration: jitter the issue time of every shared access so
+  // arrival order at the modules (and thus RMW winners) is randomized.
+  if (params_.sched.access_jitter > 0) p.clock += sched_rng_.below(params_.sched.access_jitter);
   AccessResult r = memory_.access(running_, addr, kind, p.clock);
   p.clock = r.completion;
   ++stats_[running_].accesses;
@@ -112,6 +142,7 @@ void Engine::run(const std::function<void(ProcId)>& body) {
     // blocked processors have no entry, so entries are never stale.
     FPQ_ASSERT_MSG(clk == p.clock, "scheduler entry out of date");
     (void)sq;
+    if (perturb(pid)) continue; // policy delayed the fiber; pick again
     running_ = pid;
     p.fiber.switch_in(&sched_ctx_);
     running_ = kNoProc;

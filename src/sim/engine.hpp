@@ -6,7 +6,12 @@
 // Execution model
 //   * The runnable fiber with the smallest local clock runs next, so shared
 //     effects are applied in nondecreasing simulated time and runs are
-//     deterministic for a fixed seed.
+//     deterministic for a fixed seed. MachineParams::sched selects an
+//     alternative SchedulePolicy (random preemption, delay-the-leader,
+//     per-access jitter) that deliberately distorts time to explore
+//     interleavings the smallest-clock order never reaches; perturbed runs
+//     stay deterministic per seed because the perturbation stream is its
+//     own seeded RNG.
 //   * A data operation linearizes at issue: the fiber performs the host
 //     memory operation, then calls on_access(), which charges the modeled
 //     latency (possibly including module queueing) and yields if the access
@@ -81,6 +86,10 @@ class Engine {
 
   void schedule(ProcId p);
   void yield_running();
+  /// Applies the configured SchedulePolicy to the fiber about to run.
+  /// Returns true when the fiber was delayed and requeued instead (the
+  /// scheduler must pick again).
+  bool perturb(ProcId p);
 
   MemoryModel memory_;
   std::vector<Proc> procs_;
@@ -92,6 +101,10 @@ class Engine {
   std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> runq_;
   MachineParams params_;
   bool running_run_ = false;
+  /// Dedicated stream for schedule perturbation so the policies never
+  /// shift the per-processor workload RNGs: a run under kSmallestClock is
+  /// byte-identical to one built before policies existed.
+  Xorshift sched_rng_{0};
 };
 
 } // namespace fpq::sim

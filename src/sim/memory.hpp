@@ -107,8 +107,14 @@ class MemoryModel {
   u32 home_of(const void* addr) const { return home(key(addr)); }
 
  private:
-  static u64 key(const void* addr) {
-    return reinterpret_cast<std::uintptr_t>(addr) >> 3;
+  // Word keys are *first-touch ordinals*, not raw addresses: the i-th
+  // distinct word a run touches gets key i. Execution thus depends only on
+  // (program, machine params, seed) — never on host allocator layout or
+  // ASLR — which is what makes a stress counterexample spec replayable in
+  // a fresh process (see verify/stress.hpp).
+  u64 key(const void* addr) const {
+    const u64 raw = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    return ids_.try_emplace(raw, ids_.size()).first->second;
   }
   u32 home(u64 k) const {
     // Fibonacci mixing so consecutive words interleave across modules.
@@ -123,6 +129,7 @@ class MemoryModel {
   MachineParams params_;
   Mesh mesh_;
   std::vector<Cycles> module_free_; // per-module: time the module is next idle
+  mutable std::unordered_map<u64, u64> ids_; // raw word -> first-touch ordinal
   std::unordered_map<u64, Line> lines_;
   MemStats stats_;
 };

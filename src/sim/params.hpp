@@ -12,9 +12,55 @@
 // scale with sharers) rather than specific cycle counts.
 #pragma once
 
+#include <string_view>
+
 #include "common/types.hpp"
 
 namespace fpq::sim {
+
+/// How the engine picks the next fiber to run (see Engine). The default
+/// reproduces the paper's measurement conditions; the other policies
+/// deliberately distort time to reach interleavings the smallest-clock
+/// order can never produce (schedule exploration, src/verify/stress.hpp).
+enum class SchedulePolicy : u8 {
+  /// Run the runnable fiber with the smallest local clock (measurement
+  /// mode; shared effects apply in nondecreasing simulated time).
+  kSmallestClock,
+  /// Smallest-clock order, but any scheduling decision may instead push
+  /// the chosen fiber back by a random delay. Uniform perturbation: every
+  /// fiber is a candidate for preemption at every scheduling point.
+  kRandomPreempt,
+  /// Adversarial: the *leader* (the unique smallest-clock fiber) is
+  /// probabilistically held back behind the second-place fiber, keeping
+  /// operations maximally overlapped — the "delay the front-runner"
+  /// heuristic that concentrates rare reorderings.
+  kDelayLeader,
+};
+
+constexpr std::string_view to_string(SchedulePolicy p) {
+  switch (p) {
+    case SchedulePolicy::kSmallestClock: return "smallest-clock";
+    case SchedulePolicy::kRandomPreempt: return "random-preempt";
+    case SchedulePolicy::kDelayLeader: return "delay-leader";
+  }
+  return "?";
+}
+
+/// Schedule-exploration knobs; inert at the defaults (policy =
+/// kSmallestClock, access_jitter = 0), so existing tests and benchmarks
+/// are untouched. Perturbations draw from a dedicated scheduler RNG, so
+/// enabling them never shifts the per-processor workload RNG streams.
+struct SchedParams {
+  SchedulePolicy policy = SchedulePolicy::kSmallestClock;
+  /// Probability (per 1000) that a perturbing policy acts on a decision.
+  u32 perturb_permille = 250;
+  /// Injected scheduling delays are uniform in [1, max_delay].
+  Cycles max_delay = 256;
+  /// When nonzero, every shared-memory access is charged an extra uniform
+  /// [0, access_jitter) cycles before it issues — randomizes arrival order
+  /// at the memory modules independently of the policy.
+  Cycles access_jitter = 0;
+};
 
 struct MachineParams {
   /// Cost of a load/store that hits in the processor's cache.
@@ -42,6 +88,9 @@ struct MachineParams {
 
   /// Stack size for each simulated processor's fiber.
   std::size_t fiber_stack_bytes = 128 * 1024;
+
+  /// Schedule-exploration settings (default: plain smallest-clock order).
+  SchedParams sched;
 };
 
 /// Hard cap baked into the inline sharer bitsets.

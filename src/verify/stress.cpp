@@ -1,0 +1,328 @@
+#include "verify/stress.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "verify/linearizability.hpp"
+#include "verify/quiescent.hpp"
+
+namespace fpq::verify {
+
+namespace {
+
+/// The Wing-Gong checker is exhaustive; histories beyond this are skipped
+/// even when a spec asks for the linearizability gate (see checker header).
+constexpr std::size_t kMaxLinOps = 24;
+
+ScenarioChecks checks_for(const StressSpec& spec) {
+  ScenarioChecks c;
+  // SkipList's stale delete-bin may legally exceed the Appendix-B rank
+  // bound (see skiplist_pq.hpp); conservation still gates it.
+  c.quiescent_rank = spec.algo != Algorithm::kSkipList;
+  c.linearizability = spec.check_lin;
+  return c;
+}
+
+QueueFactory registry_factory(Algorithm algo) {
+  return [algo](const PqParams& params) {
+    return make_priority_queue<SimPlatform>(algo, params);
+  };
+}
+
+void dump_trace(std::ostream& os, const History& h) {
+  for (const OpRecord& op : h) {
+    os << "    p" << op.proc << " ";
+    if (op.kind == OpRecord::Kind::kInsert)
+      os << "ins(" << op.entry.prio << "," << op.entry.item << ")";
+    else if (op.result_present)
+      os << "del->(" << op.entry.prio << "," << op.entry.item << ")";
+    else
+      os << "del->empty";
+    os << " [" << op.invoked << "," << op.responded << "]\n";
+  }
+}
+
+} // namespace
+
+sim::MachineParams StressSpec::machine() const {
+  sim::MachineParams m;
+  m.sched.policy = policy;
+  m.sched.perturb_permille = perturb_permille;
+  m.sched.max_delay = max_delay;
+  m.sched.access_jitter = access_jitter;
+  return m;
+}
+
+std::string to_line(const StressSpec& s) {
+  std::ostringstream os;
+  os << "algo=" << to_string(s.algo) << " policy=" << to_string(s.policy)
+     << " seed=" << s.seed << " procs=" << s.nprocs << " ops=" << s.ops_per_proc
+     << " nprio=" << s.npriorities << " ins=" << s.insert_percent
+     << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
+     << " jitter=" << s.access_jitter << " lin=" << (s.check_lin ? 1 : 0);
+  return os.str();
+}
+
+sim::SchedulePolicy policy_from_string(std::string_view name) {
+  for (auto p : {sim::SchedulePolicy::kSmallestClock, sim::SchedulePolicy::kRandomPreempt,
+                 sim::SchedulePolicy::kDelayLeader}) {
+    if (to_string(p) == name) return p;
+  }
+  throw std::invalid_argument("unknown schedule policy: " + std::string(name));
+}
+
+StressSpec spec_from_line(const std::string& line) {
+  StressSpec s;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("stress spec token without '=': " + tok);
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    try {
+    if (key == "algo") {
+      s.algo = algorithm_from_string(val);
+    } else if (key == "policy") {
+      s.policy = policy_from_string(val);
+    } else if (key == "seed") {
+      s.seed = std::stoull(val);
+    } else if (key == "procs") {
+      s.nprocs = static_cast<u32>(std::stoul(val));
+    } else if (key == "ops") {
+      s.ops_per_proc = static_cast<u32>(std::stoul(val));
+    } else if (key == "nprio") {
+      s.npriorities = static_cast<u32>(std::stoul(val));
+    } else if (key == "ins") {
+      s.insert_percent = static_cast<u32>(std::stoul(val));
+    } else if (key == "permille") {
+      s.perturb_permille = static_cast<u32>(std::stoul(val));
+    } else if (key == "maxdelay") {
+      s.max_delay = std::stoull(val);
+    } else if (key == "jitter") {
+      s.access_jitter = std::stoull(val);
+    } else if (key == "lin") {
+      s.check_lin = val != "0";
+    } else {
+      throw std::invalid_argument("unknown stress spec key: " + key);
+    }
+    } catch (const std::logic_error& e) {
+      // std::sto* throw bare "stoul"; name the offending token instead.
+      throw std::invalid_argument("bad stress spec token '" + tok + "': " + e.what());
+    }
+  }
+  if (s.nprocs < 1 || s.npriorities < 1)
+    throw std::invalid_argument("stress spec needs procs >= 1 and nprio >= 1");
+  return s;
+}
+
+std::string format_failure(const StressFailure& f) {
+  std::ostringstream os;
+  const sim::MachineParams m = f.spec.machine();
+  os << "stress: FAILED [" << f.kind << "] " << to_string(f.spec.algo) << " under "
+     << to_string(f.spec.policy) << " (seed " << f.spec.seed << ")\n"
+     << "  " << f.diagnostic << "\n"
+     << "  replay: " << to_line(f.spec) << "\n"
+     << "  machine: t_hit=" << m.t_hit << " t_mem=" << m.t_mem << " t_occ=" << m.t_occ
+     << " t_net_base=" << m.t_net_base << " t_hop=" << m.t_hop
+     << " t_dirty_fetch=" << m.t_dirty_fetch << " t_inv_base=" << m.t_inv_base
+     << " t_inv_per_sharer=" << m.t_inv_per_sharer << " t_pause=" << m.t_pause << "\n"
+     << "  trace (mixed phase, then quiescent drain by p0):\n";
+  dump_trace(os, f.trace);
+  return os.str();
+}
+
+std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
+                                               const StressSpec& spec,
+                                               const ScenarioChecks& checks) {
+  PqParams params{.npriorities = spec.npriorities, .maxprocs = spec.nprocs,
+                  .bin_capacity = 1u << 13};
+  params.seed = spec.seed;
+  auto pq = make(params);
+  HistoryRecorder rec(spec.nprocs);
+  std::vector<std::vector<Entry>> ins(spec.nprocs), del(spec.nprocs);
+  bool insert_refused = false;
+
+  sim::Engine eng(spec.nprocs, spec.machine(), spec.seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < spec.ops_per_proc; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::rnd(100) < spec.insert_percent) {
+        const Entry e{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
+                      (static_cast<u64>(id) << 20) | i};
+        const Cycles t0 = SimPlatform::now();
+        if (!pq->insert(e.prio, e.item)) {
+          insert_refused = true;
+          return;
+        }
+        rec.record(OpRecord::insert_op(id, t0, SimPlatform::now(), e));
+        ins[id].push_back(e);
+      } else {
+        const Cycles t0 = SimPlatform::now();
+        auto e = pq->delete_min();
+        rec.record(OpRecord::delete_op(id, t0, SimPlatform::now(), e));
+        if (e) del[id].push_back(*e);
+      }
+    }
+  });
+
+  auto fail = [&](std::string kind, std::string diagnostic) {
+    return StressFailure{spec, std::move(kind), std::move(diagnostic), rec.merged()};
+  };
+  if (insert_refused)
+    return fail("capacity", "insert refused: bin/heap capacity exhausted (sizing bug)");
+
+  // Quiescent drain by processor 0; recorded so the trace shows it.
+  std::vector<Entry> drained;
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    for (;;) {
+      const Cycles t0 = SimPlatform::now();
+      auto e = pq->delete_min();
+      rec.record(OpRecord::delete_op(0, t0, SimPlatform::now(), e));
+      if (!e) break;
+      drained.push_back(*e);
+    }
+  });
+
+  std::vector<Entry> inserted, deleted;
+  for (const auto& v : ins) inserted.insert(inserted.end(), v.begin(), v.end());
+  for (const auto& v : del) deleted.insert(deleted.end(), v.begin(), v.end());
+
+  std::vector<Entry> out(deleted);
+  out.insert(out.end(), drained.begin(), drained.end());
+  if (!same_entries(inserted, out)) {
+    std::ostringstream os;
+    os << "conservation violated: inserted " << inserted.size()
+       << " entries, got back " << out.size() << " (mixed-phase deletes "
+       << deleted.size() << " + drained " << drained.size() << ")";
+    return fail("conservation", os.str());
+  }
+
+  if (checks.quiescent_rank) {
+    const PhaseCheckResult qr = check_quiescent_phase({}, inserted, deleted);
+    if (!qr.ok) return fail("quiescent", qr.diagnostic);
+    const PhaseCheckResult dr = check_drain_sorted(drained);
+    if (!dr.ok) return fail("drain-order", dr.diagnostic);
+  }
+
+  if (checks.linearizability) {
+    const History h = rec.merged();
+    if (h.size() <= kMaxLinOps && !check_linearizable(h).linearizable) {
+      std::ostringstream os;
+      os << "no valid linearization of the " << h.size() << "-op history exists";
+      return fail("linearizability", os.str());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StressFailure> run_scenario(const StressSpec& spec) {
+  return run_scenario_with(registry_factory(spec.algo), spec, checks_for(spec));
+}
+
+StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
+                            const ScenarioChecks& checks) {
+  StressFailure best = f;
+  for (bool improved = true; improved;) {
+    improved = false;
+    std::vector<StressSpec> candidates;
+    const StressSpec& s = best.spec;
+    if (s.nprocs > 2) {
+      StressSpec half = s;
+      half.nprocs = std::max(2u, s.nprocs / 2);
+      candidates.push_back(half);
+      StressSpec dec = s;
+      dec.nprocs = s.nprocs - 1;
+      candidates.push_back(dec);
+    }
+    if (s.ops_per_proc > 1) {
+      StressSpec half = s;
+      half.ops_per_proc = std::max(1u, s.ops_per_proc / 2);
+      candidates.push_back(half);
+      StressSpec dec = s;
+      dec.ops_per_proc = s.ops_per_proc - 1;
+      candidates.push_back(dec);
+    }
+    for (const StressSpec& c : candidates) {
+      if (auto r = run_scenario_with(make, c, checks)) {
+        best = *r;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+StressFailure minimize(const StressFailure& f) {
+  return minimize_with(registry_factory(f.spec.algo), f, checks_for(f.spec));
+}
+
+std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* progress) {
+  const std::vector<Algorithm>& algos =
+      opt.algorithms.empty() ? all_algorithms() : opt.algorithms;
+  std::vector<sim::SchedulePolicy> policies = opt.policies;
+  if (policies.empty()) {
+    policies = {sim::SchedulePolicy::kSmallestClock, sim::SchedulePolicy::kRandomPreempt,
+                sim::SchedulePolicy::kDelayLeader};
+  }
+
+  std::vector<StressFailure> failures;
+  auto sweep_one = [&](StressSpec spec) {
+    if (failures.size() >= opt.max_failures) return;
+    if (opt.on_scenario) opt.on_scenario(spec);
+    if (auto r = run_scenario(spec)) {
+      failures.push_back(opt.minimize_failures ? minimize(*r) : *r);
+      if (progress) *progress << format_failure(failures.back());
+    }
+  };
+
+  for (Algorithm algo : algos) {
+    for (sim::SchedulePolicy policy : policies) {
+      StressSpec spec;
+      spec.algo = algo;
+      spec.policy = policy;
+      spec.nprocs = opt.nprocs;
+      spec.ops_per_proc = opt.ops_per_proc;
+      spec.npriorities = opt.npriorities;
+      spec.insert_percent = opt.insert_percent;
+      // The baseline policy stays jitter-free: it is the paper's
+      // measurement schedule, kept as the known-good reference point.
+      spec.access_jitter =
+          policy == sim::SchedulePolicy::kSmallestClock ? 0 : opt.access_jitter;
+      const std::size_t before = failures.size();
+      for (u64 seed = opt.seed_base; seed < opt.seed_base + opt.seeds; ++seed) {
+        spec.seed = seed;
+        sweep_one(spec);
+        if (failures.size() >= opt.max_failures) break;
+      }
+      // SingleLock holds one lock across whole operations: the paper's one
+      // unconditional linearizability guarantee, checked on small histories.
+      if (algo == Algorithm::kSingleLock && failures.size() < opt.max_failures) {
+        StressSpec lin = spec;
+        lin.nprocs = 3;
+        lin.ops_per_proc = 4;
+        lin.check_lin = true;
+        for (u64 seed = opt.seed_base; seed < opt.seed_base + opt.seeds; ++seed) {
+          lin.seed = seed;
+          sweep_one(lin);
+          if (failures.size() >= opt.max_failures) break;
+        }
+      }
+      if (progress) {
+        *progress << to_string(algo) << " x " << to_string(policy) << ": seeds "
+                  << opt.seed_base << ".." << (opt.seed_base + opt.seeds - 1) << " "
+                  << (failures.size() == before ? "ok" : "FAILED") << "\n";
+      }
+      if (failures.size() >= opt.max_failures) return failures;
+    }
+  }
+  return failures;
+}
+
+} // namespace fpq::verify

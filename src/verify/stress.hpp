@@ -1,0 +1,133 @@
+// Schedule-exploration stress harness (the standing correctness gate).
+//
+// A StressSpec fully determines one deterministic scenario: an algorithm, a
+// schedule policy (sim/params.hpp), a seed, the machine's scheduling knobs
+// and the workload shape. The runner drives the queue through a mixed
+// insert/delete phase followed by a quiescent drain, recording the op
+// history, and applies the Appendix-B checkers:
+//
+//   * conservation   — every inserted entry comes back exactly once;
+//   * quiescent      — phase rank bound (check_quiescent_phase) with the
+//                      empty queue as the opening quiescent point;
+//   * drain-order    — the solo drain yields nondecreasing priorities;
+//   * linearizability— Wing-Gong check, gated per spec (exhaustive, so only
+//                      small-history specs enable it).
+//
+// A sweep fans specs across algorithms x policies x seeds; the first
+// failure is greedily minimized (fewer processors, fewer ops — reruns are
+// free because scenarios are deterministic) and serialized as a one-line
+// replay spec plus the op trace, so
+//
+//   fpq_stress --replay "algo=... policy=... seed=..."
+//
+// reproduces it exactly. See DESIGN.md §7 and tests/stress_main.cpp.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "verify/history.hpp"
+
+namespace fpq::verify {
+
+struct StressSpec {
+  Algorithm algo = Algorithm::kSingleLock;
+  sim::SchedulePolicy policy = sim::SchedulePolicy::kSmallestClock;
+  u64 seed = 1;
+  u32 nprocs = 4;
+  u32 ops_per_proc = 12;
+  u32 npriorities = 8;
+  /// Percentage of operations that are inserts (rest are delete-mins).
+  u32 insert_percent = 60;
+  /// Scheduler knobs (sim::SchedParams); recorded so a replay reconstructs
+  /// the exact machine.
+  u32 perturb_permille = 250;
+  Cycles max_delay = 256;
+  Cycles access_jitter = 0;
+  /// Gate the exhaustive linearizability checker (keep histories small:
+  /// nprocs * ops_per_proc + drain must stay around 20 ops).
+  bool check_lin = false;
+
+  /// Machine for this scenario: default timing, spec's scheduling.
+  sim::MachineParams machine() const;
+};
+
+/// One-line key=value serialization, parseable by spec_from_line.
+std::string to_line(const StressSpec& s);
+/// Parses to_line output (order-insensitive); throws std::invalid_argument.
+StressSpec spec_from_line(const std::string& line);
+/// Parses a SchedulePolicy display name; throws std::invalid_argument.
+sim::SchedulePolicy policy_from_string(std::string_view name);
+
+struct StressFailure {
+  StressSpec spec;
+  std::string kind; // conservation | quiescent | drain-order | linearizability
+  std::string diagnostic;
+  /// Recorded op trace: the mixed phase (all procs) then the quiescent
+  /// drain (proc 0), in invocation order.
+  History trace;
+};
+
+/// Human-readable dump: kind, diagnostic, replay line, machine, op trace.
+std::string format_failure(const StressFailure& f);
+
+/// Factory injection point so the harness itself is testable against
+/// deliberately broken queues (tests/test_stress.cpp).
+using QueueFactory =
+    std::function<std::unique_ptr<IPriorityQueue<SimPlatform>>(const PqParams&)>;
+
+/// Which checks to apply; run_scenario derives this from the algorithm
+/// (SkipList's stale delete-bin is exempt from the rank bound by design).
+struct ScenarioChecks {
+  bool quiescent_rank = true;
+  bool linearizability = false;
+};
+
+/// Runs one scenario; nullopt when every enabled check passes.
+std::optional<StressFailure> run_scenario(const StressSpec& spec);
+std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
+                                               const StressSpec& spec,
+                                               const ScenarioChecks& checks);
+
+/// Greedy shrink (processors, then ops per processor) while the scenario
+/// still fails any enabled check. Deterministic and cheap: a handful of
+/// reruns of an already-small scenario.
+StressFailure minimize(const StressFailure& f);
+StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
+                            const ScenarioChecks& checks);
+
+struct StressOptions {
+  std::vector<Algorithm> algorithms;         // empty = all seven
+  std::vector<sim::SchedulePolicy> policies; // empty = all three
+  u64 seed_base = 1;
+  u32 seeds = 32;
+  u32 nprocs = 4;
+  u32 ops_per_proc = 12;
+  u32 npriorities = 8;
+  u32 insert_percent = 60;
+  /// Per-access jitter used for the perturbing policies (the
+  /// smallest-clock baseline always runs jitter-free).
+  Cycles access_jitter = 64;
+  bool minimize_failures = true;
+  /// Stop sweeping after this many failures (each is minimized).
+  u32 max_failures = 1;
+  /// Invoked with each spec just before it runs. The driver uses this to
+  /// keep the current spec in a buffer its SIGABRT handler prints, so even
+  /// an FPQ_ASSERT abort inside an algorithm leaves a replayable spec.
+  std::function<void(const StressSpec&)> on_scenario;
+};
+
+/// Fans scenarios across algorithms x policies x seeds. For algorithms the
+/// paper classifies as linearizable with a hard guarantee (SingleLock), an
+/// additional small-history linearizability sweep runs per policy x seed.
+/// Returns the (minimized) failures; empty means the gate is clean.
+std::vector<StressFailure> run_sweep(const StressOptions& opt,
+                                     std::ostream* progress = nullptr);
+
+} // namespace fpq::verify

@@ -1,0 +1,161 @@
+// fpq_stress: the standing correctness gate. Sweeps every queue algorithm
+// across schedule policies x seeds under the Appendix-B checkers, printing
+// a minimized, replayable counterexample on failure.
+//
+//   fpq_stress                                  # default bounded budget
+//   fpq_stress --algos=FunnelTree --seeds=128   # focused, deeper sweep
+//   fpq_stress --replay "algo=... policy=... seed=..."   # reproduce a dump
+//
+// Exit status: 0 clean, 1 counterexample found, 2 usage error. Registered
+// with ctest under the `stress` label (one entry per algorithm).
+#include <unistd.h>
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "verify/stress.hpp"
+
+namespace {
+
+// FPQ_ASSERT aborts the process; scenarios are deterministic, so knowing
+// which spec was in flight is enough to replay the abort. Kept in a plain
+// buffer and written with write(2) — both async-signal-safe.
+char g_current_spec[512];
+
+void on_abort(int) {
+  if (g_current_spec[0] != '\0') {
+    const char* head = "\nfpq_stress: aborted while running scenario; replay with:\n  --replay \"";
+    (void)!write(STDERR_FILENO, head, std::strlen(head));
+    (void)!write(STDERR_FILENO, g_current_spec, std::strlen(g_current_spec));
+    (void)!write(STDERR_FILENO, "\"\n", 2);
+  }
+  std::signal(SIGABRT, SIG_DFL);
+  std::raise(SIGABRT);
+}
+
+void remember_spec(const fpq::verify::StressSpec& spec) {
+  const std::string line = fpq::verify::to_line(spec);
+  std::strncpy(g_current_spec, line.c_str(), sizeof(g_current_spec) - 1);
+  g_current_spec[sizeof(g_current_spec) - 1] = '\0';
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --algos=A,B,...      algorithms (display names; default: all seven)\n"
+      << "  --policies=p,...     smallest-clock | random-preempt | delay-leader\n"
+      << "  --seeds=N            seeds per (algorithm, policy) combination (default 32)\n"
+      << "  --seed-base=N        first seed (default 1)\n"
+      << "  --procs=N --ops=N --nprio=N --insert-pct=N --jitter=N   workload shape\n"
+      << "  --max-failures=N     stop after N minimized counterexamples (default 1)\n"
+      << "  --no-minimize        report the first failure unshrunk\n"
+      << "  --quiet              suppress per-combination progress\n"
+      << "  --replay \"SPEC\"      rerun one scenario from a counterexample line\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace fpq::verify;
+
+  std::signal(SIGABRT, on_abort);
+
+  StressOptions opt;
+  bool quiet = false;
+  std::string replay_line;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg]() { return arg.substr(arg.find('=') + 1); };
+    try {
+      if (arg.rfind("--algos=", 0) == 0) {
+        for (const std::string& name : split_csv(val()))
+          opt.algorithms.push_back(fpq::algorithm_from_string(name));
+      } else if (arg.rfind("--policies=", 0) == 0) {
+        for (const std::string& name : split_csv(val()))
+          opt.policies.push_back(policy_from_string(name));
+      } else if (arg.rfind("--seeds=", 0) == 0) {
+        opt.seeds = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--seed-base=", 0) == 0) {
+        opt.seed_base = std::stoull(val());
+      } else if (arg.rfind("--procs=", 0) == 0) {
+        opt.nprocs = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--ops=", 0) == 0) {
+        opt.ops_per_proc = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--nprio=", 0) == 0) {
+        opt.npriorities = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--insert-pct=", 0) == 0) {
+        opt.insert_percent = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--jitter=", 0) == 0) {
+        opt.access_jitter = std::stoull(val());
+      } else if (arg.rfind("--max-failures=", 0) == 0) {
+        opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg == "--no-minimize") {
+        opt.minimize_failures = false;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--replay") {
+        // Join everything that follows: a quoted spec arrives as one arg,
+        // an unquoted paste as several.
+        for (++i; i < argc; ++i) {
+          if (!replay_line.empty()) replay_line += ' ';
+          replay_line += argv[i];
+        }
+      } else {
+        std::cerr << "unknown option: " << arg << "\n";
+        return usage(argv[0]);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "bad option " << arg << ": " << e.what() << "\n";
+      return usage(argv[0]);
+    }
+  }
+
+  if (opt.nprocs < 1 || opt.ops_per_proc < 1 || opt.npriorities < 1 ||
+      opt.insert_percent > 100 || opt.seeds < 1) {
+    std::cerr << "need --procs/--ops/--nprio/--seeds >= 1 and --insert-pct <= 100\n";
+    return usage(argv[0]);
+  }
+
+  if (!replay_line.empty()) {
+    StressSpec spec;
+    try {
+      spec = spec_from_line(replay_line);
+    } catch (const std::exception& e) {
+      std::cerr << "bad replay spec: " << e.what() << "\n";
+      return usage(argv[0]);
+    }
+    remember_spec(spec);
+    std::cout << "replaying: " << to_line(spec) << "\n";
+    if (auto f = run_scenario(spec)) {
+      std::cout << format_failure(*f);
+      return 1;
+    }
+    std::cout << "scenario passed all checks (fixed already, or a different build?)\n";
+    return 0;
+  }
+
+  opt.on_scenario = remember_spec;
+  std::vector<StressFailure> failures = run_sweep(opt, quiet ? nullptr : &std::cout);
+  if (!failures.empty()) {
+    for (const StressFailure& f : failures) std::cerr << format_failure(f);
+    return 1;
+  }
+  if (!quiet) std::cout << "stress: all scenarios clean\n";
+  return 0;
+}

@@ -149,6 +149,71 @@ INSTANTIATE_TEST_SUITE_P(
                       MixCase{32, 0, true, 3, 13}, MixCase{32, 100, true, 3, 14},
                       MixCase{16, 50, true, 4, 15}, MixCase{256, 50, true, 3, 16}));
 
+// Regression for the floor-pinning artifact noted in EXPERIMENTS.md: a
+// counter pinned at its floor under 100% decrements must hold the BFaD
+// contract exactly — every return >= floor, value never dips below the
+// floor, and this must survive elimination on/off and an adversarial
+// schedule (elimination pairs an inc with a dec; under pure decrements a
+// buggy eliminator could fabricate one and push the counter negative).
+struct FloorPinCase {
+  u32 nprocs;
+  bool eliminate;
+  sim::SchedulePolicy policy;
+  u64 seed;
+};
+
+class BfadFloorPin : public ::testing::TestWithParam<FloorPinCase> {};
+
+TEST_P(BfadFloorPin, PureDecrementsNeverBreachFloor) {
+  const auto [nprocs, eliminate, policy, seed] = GetParam();
+  const i64 initial = 5; // drained within the first few ops, pinned after
+  FunnelCounter<SimPlatform> c(nprocs, tight_params(2), Cfg{true, eliminate, 0},
+                               initial);
+  auto effective = std::make_unique<SimShared<u64>>(0);
+  sim::MachineParams m;
+  m.sched.policy = policy;
+  sim::Engine eng(nprocs, m, seed);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 30; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      const i64 before = c.bfad(0);
+      ASSERT_GE(before, 0) << "BFaD handed out a value below the floor";
+      if (before > 0) effective->fetch_add(1);
+    }
+  });
+  // Exactly `initial` decrements took effect; the rest hit the floor.
+  EXPECT_EQ(effective->load(), static_cast<u64>(initial));
+  EXPECT_EQ(c.read(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BfadFloorPin,
+    ::testing::Values(
+        FloorPinCase{8, true, sim::SchedulePolicy::kSmallestClock, 1},
+        FloorPinCase{8, false, sim::SchedulePolicy::kSmallestClock, 2},
+        FloorPinCase{32, true, sim::SchedulePolicy::kSmallestClock, 3},
+        FloorPinCase{32, false, sim::SchedulePolicy::kSmallestClock, 4},
+        FloorPinCase{32, true, sim::SchedulePolicy::kRandomPreempt, 5},
+        FloorPinCase{32, false, sim::SchedulePolicy::kRandomPreempt, 6},
+        FloorPinCase{64, true, sim::SchedulePolicy::kDelayLeader, 7},
+        FloorPinCase{64, false, sim::SchedulePolicy::kDelayLeader, 8}));
+
+TEST(FunnelCounter, FloorPinAtZeroFromEmptyStart) {
+  // The degenerate pin: starts at the floor, every op is a decrement, so
+  // no decrement may ever take effect and the value must read 0 throughout.
+  for (const bool eliminate : {true, false}) {
+    FunnelCounter<SimPlatform> c(16, tight_params(2), Cfg{true, eliminate, 0}, 0);
+    sim::Engine eng(16, {}, 9);
+    eng.run([&](ProcId) {
+      for (u32 i = 0; i < 20; ++i) {
+        SimPlatform::delay(SimPlatform::rnd(32));
+        ASSERT_EQ(c.bfad(0), 0) << "eliminate=" << eliminate;
+      }
+    });
+    EXPECT_EQ(c.read(), 0) << "eliminate=" << eliminate;
+  }
+}
+
 TEST(FunnelCounter, PlainFaaSumsAnyDeltas) {
   FunnelCounter<SimPlatform> c(16, tight_params(2), Cfg{false, false, 0}, 100);
   auto sum = std::make_unique<SimShared<i64>>(0);

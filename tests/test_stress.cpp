@@ -1,0 +1,198 @@
+// Tier-1 smoke tests of the stress harness (src/verify/stress.hpp): spec
+// serialization round-trips, clean algorithms pass every policy, and —
+// the reason the harness exists — a queue with a deliberately dropped bin
+// lock is caught with a minimized, replayable counterexample.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "platform/sim.hpp"
+#include "verify/stress.hpp"
+
+namespace fpq {
+namespace {
+
+using verify::run_scenario;
+using verify::run_scenario_with;
+using verify::ScenarioChecks;
+using verify::spec_from_line;
+using verify::StressFailure;
+using verify::StressSpec;
+using verify::to_line;
+
+TEST(StressSpec, LineRoundTripsEveryField) {
+  StressSpec s;
+  s.algo = Algorithm::kLinearFunnels;
+  s.policy = sim::SchedulePolicy::kDelayLeader;
+  s.seed = 9876543210ull;
+  s.nprocs = 7;
+  s.ops_per_proc = 19;
+  s.npriorities = 5;
+  s.insert_percent = 73;
+  s.perturb_permille = 401;
+  s.max_delay = 999;
+  s.access_jitter = 17;
+  s.check_lin = true;
+  const StressSpec r = spec_from_line(to_line(s));
+  EXPECT_EQ(r.algo, s.algo);
+  EXPECT_EQ(r.policy, s.policy);
+  EXPECT_EQ(r.seed, s.seed);
+  EXPECT_EQ(r.nprocs, s.nprocs);
+  EXPECT_EQ(r.ops_per_proc, s.ops_per_proc);
+  EXPECT_EQ(r.npriorities, s.npriorities);
+  EXPECT_EQ(r.insert_percent, s.insert_percent);
+  EXPECT_EQ(r.perturb_permille, s.perturb_permille);
+  EXPECT_EQ(r.max_delay, s.max_delay);
+  EXPECT_EQ(r.access_jitter, s.access_jitter);
+  EXPECT_EQ(r.check_lin, s.check_lin);
+}
+
+TEST(StressSpec, RejectsMalformedLines) {
+  EXPECT_THROW(spec_from_line("algo=NoSuchQueue"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("policy=clock-of-doom"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("frobnicate=1"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("algo"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("procs=0"), std::invalid_argument);
+}
+
+TEST(StressSpec, PolicyNamesParse) {
+  EXPECT_EQ(verify::policy_from_string("smallest-clock"),
+            sim::SchedulePolicy::kSmallestClock);
+  EXPECT_EQ(verify::policy_from_string("random-preempt"),
+            sim::SchedulePolicy::kRandomPreempt);
+  EXPECT_EQ(verify::policy_from_string("delay-leader"),
+            sim::SchedulePolicy::kDelayLeader);
+  EXPECT_THROW(verify::policy_from_string("fifo"), std::invalid_argument);
+}
+
+TEST(StressScenario, CleanAlgorithmsPassEveryPolicy) {
+  // A slice of the full `ctest -L stress` sweep, small enough for tier 1:
+  // one lock-based and one funnel-based queue under all three policies.
+  for (Algorithm algo : {Algorithm::kHuntEtAl, Algorithm::kFunnelTree}) {
+    for (auto policy :
+         {sim::SchedulePolicy::kSmallestClock, sim::SchedulePolicy::kRandomPreempt,
+          sim::SchedulePolicy::kDelayLeader}) {
+      for (u64 seed = 1; seed <= 2; ++seed) {
+        StressSpec s;
+        s.algo = algo;
+        s.policy = policy;
+        s.seed = seed;
+        s.access_jitter = policy == sim::SchedulePolicy::kSmallestClock ? 0 : 64;
+        const auto f = run_scenario(s);
+        EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
+      }
+    }
+  }
+}
+
+TEST(StressScenario, SingleLockLinearizabilityGatePasses) {
+  StressSpec s;
+  s.algo = Algorithm::kSingleLock;
+  s.policy = sim::SchedulePolicy::kDelayLeader;
+  s.nprocs = 3;
+  s.ops_per_proc = 4;
+  s.access_jitter = 64;
+  s.check_lin = true;
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    s.seed = seed;
+    const auto f = run_scenario(s);
+    EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
+  }
+}
+
+// ---- The injected bug the harness must catch (acceptance criterion):
+// SimpleLinear's per-priority bin with the MCS lock dropped. The
+// load-then-store of the size word is no longer atomic, so overlapping
+// inserts can claim the same slot and lose an item.
+class UnlockedBinQueue final : public IPriorityQueue<SimPlatform> {
+ public:
+  explicit UnlockedBinQueue(const PqParams& params)
+      : npriorities_(params.npriorities), bins_(params.npriorities) {
+    for (auto& b : bins_) b = std::make_unique<Bin>(params.bin_capacity);
+  }
+
+  bool insert(Prio prio, Item item) override {
+    Bin& b = *bins_[prio];
+    const u64 n = b.size.load(); // racy: no lock around load..store
+    if (n >= b.elems.size()) return false;
+    b.elems[n].store(item);
+    b.size.store(n + 1);
+    return true;
+  }
+
+  std::optional<Entry> delete_min() override {
+    for (Prio p = 0; p < npriorities_; ++p) {
+      Bin& b = *bins_[p];
+      const u64 n = b.size.load();
+      if (n == 0) continue;
+      const Item e = b.elems[n - 1].load();
+      b.size.store(n - 1);
+      return Entry{p, e};
+    }
+    return std::nullopt;
+  }
+
+  u32 npriorities() const override { return npriorities_; }
+
+ private:
+  struct Bin {
+    explicit Bin(u32 capacity) : elems(capacity) {}
+    SimShared<u64> size{0};
+    std::vector<SimShared<u64>> elems;
+  };
+  u32 npriorities_;
+  std::vector<std::unique_ptr<Bin>> bins_;
+};
+
+verify::QueueFactory unlocked_factory() {
+  return [](const PqParams& p) { return std::make_unique<UnlockedBinQueue>(p); };
+}
+
+std::optional<StressFailure> hunt_unlocked_bin_bug() {
+  for (auto policy :
+       {sim::SchedulePolicy::kRandomPreempt, sim::SchedulePolicy::kDelayLeader}) {
+    for (u64 seed = 1; seed <= 32; ++seed) {
+      StressSpec s;
+      s.algo = Algorithm::kSimpleLinear; // label for the dump; factory overrides
+      s.policy = policy;
+      s.seed = seed;
+      s.access_jitter = 64;
+      if (auto f = run_scenario_with(unlocked_factory(), s, ScenarioChecks{})) return f;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(StressHarness, CatchesDroppedBinLock) {
+  const auto found = hunt_unlocked_bin_bug();
+  ASSERT_TRUE(found.has_value())
+      << "an unlocked bin survived 2 policies x 32 seeds — the harness lost "
+         "its teeth";
+  EXPECT_EQ(found->kind, "conservation");
+  EXPECT_FALSE(found->trace.empty());
+}
+
+TEST(StressHarness, CounterexampleMinimizesAndReplays) {
+  auto found = hunt_unlocked_bin_bug();
+  ASSERT_TRUE(found.has_value());
+  const StressFailure small =
+      verify::minimize_with(unlocked_factory(), *found, ScenarioChecks{});
+  EXPECT_LE(small.spec.nprocs, found->spec.nprocs);
+  EXPECT_LE(small.spec.ops_per_proc, found->spec.ops_per_proc);
+
+  // The dump's replay line must reproduce the failure from scratch.
+  const StressSpec replayed = spec_from_line(to_line(small.spec));
+  const auto again = run_scenario_with(unlocked_factory(), replayed, ScenarioChecks{});
+  ASSERT_TRUE(again.has_value()) << "minimized counterexample did not replay";
+  EXPECT_EQ(again->kind, small.kind);
+  EXPECT_EQ(again->trace.size(), small.trace.size()); // deterministic replay
+
+  const std::string dump = verify::format_failure(small);
+  EXPECT_NE(dump.find("replay:"), std::string::npos);
+  EXPECT_NE(dump.find("conservation"), std::string::npos);
+}
+
+} // namespace
+} // namespace fpq

@@ -89,6 +89,19 @@ TEST(LinearizabilityChecker, TieOrderAmongEqualPrioritiesIsFree) {
   EXPECT_TRUE(check_linearizable(h).linearizable);
 }
 
+TEST(LinearizabilityChecker, RejectsDeleteOfNeverInsertedItem) {
+  // The returned entry appears in no insert at all — a fabricated item.
+  History h{ins(0, 0, 1, 2, 20), del(1, 2, 3, 2, 99)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
+TEST(LinearizabilityChecker, RejectsItemReturnedUnderWrongPriority) {
+  // Item 20 was inserted at priority 2; a delete claiming it at priority 7
+  // matches no insert.
+  History h{ins(0, 0, 1, 2, 20), del(1, 2, 3, 7, 20)};
+  EXPECT_FALSE(check_linearizable(h).linearizable);
+}
+
 TEST(QuiescentChecker, AcceptsExactMinimum) {
   const std::vector<Entry> E{{1, 10}, {5, 50}, {9, 90}};
   const auto r = check_quiescent_phase(E, {}, {{1, 10}});
@@ -128,6 +141,26 @@ TEST(QuiescentChecker, RejectsMoreDeletesThanItems) {
 
 TEST(QuiescentChecker, EmptyPhaseIsFine) {
   EXPECT_TRUE(check_quiescent_phase({}, {}, {}).ok);
+}
+
+TEST(QuiescentChecker, RankBoundIsTightWithPendingInserts) {
+  // One pending insert buys exactly one rank of slack: with E = {0,1,2}
+  // and I = {{9,.}}, a delete may return the 2nd-smallest of E u I but
+  // never the 3rd.
+  const std::vector<Entry> E{{0, 1}, {1, 2}, {2, 3}};
+  const std::vector<Entry> I{{9, 4}};
+  EXPECT_TRUE(check_quiescent_phase(E, I, {{1, 2}}).ok);
+  EXPECT_FALSE(check_quiescent_phase(E, I, {{2, 3}}).ok);
+  EXPECT_FALSE(check_quiescent_phase(E, I, {{9, 4}}).ok);
+}
+
+TEST(QuiescentChecker, RejectsPhaseConservationViolation) {
+  // More copies deleted than exist anywhere in E u I — the signature of a
+  // lost update duplicating an item (the dropped-bin-lock failure mode).
+  const std::vector<Entry> E{{1, 10}};
+  const std::vector<Entry> I{{1, 10}};
+  EXPECT_TRUE(check_quiescent_phase(E, I, {{1, 10}, {1, 10}}).ok);
+  EXPECT_FALSE(check_quiescent_phase(E, I, {{1, 10}, {1, 10}, {1, 10}}).ok);
 }
 
 TEST(DrainChecker, DetectsDisorder) {
