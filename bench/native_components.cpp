@@ -1,16 +1,19 @@
-// google-benchmark microbenchmarks of the synchronization substrate on the
-// NATIVE backend (std::atomic + real threads). These complement the
-// simulator figures: the simulator shows 256-way trends; these show that
-// the same code is a sane real-hardware implementation. Thread counts are
-// modest because the machine may have few cores.
+// The synchronization substrate on the NATIVE backend, swept across an
+// explicit thread-count list: locks, the counter family (CAS / MCS /
+// combining-funnel / reactive) and the two lock-related containers. Each
+// repetition builds a fresh fixture; every loop iteration is a balanced
+// op pair so fixtures never drift. Output matches bench/native_pq:
+// human table plus `fpq.native-bench.v1` JSON (see README).
 //
-// Shared fixtures are function-local statics (thread-safe magic statics)
-// that live for the whole process: every operation pair is balanced, so
-// state carried across thread counts is benign.
-#include <benchmark/benchmark.h>
+//   native_components --threads=1,2,4,8 --reps=5 --ops=200000
+//                     [--algos=McsLock,FunnelCounter,...]
+//                     [--out=BENCH_native.json] [--pin] [--quick]
+#include <functional>
 
+#include "bench_support/native_bench.hpp"
 #include "container/bin.hpp"
 #include "container/counters.hpp"
+#include "container/reactive_counter.hpp"
 #include "funnel/counter.hpp"
 #include "funnel/stack.hpp"
 #include "platform/native.hpp"
@@ -21,95 +24,123 @@ using namespace fpq;
 
 namespace {
 
-constexpr u32 kMaxThreads = 8;
-
-void adopt(benchmark::State& state) {
-  NativePlatform::adopt(static_cast<ProcId>(state.thread_index()),
-                        static_cast<u32>(state.threads()));
+// Each component's rep: build the fixture, time ops_per_thread balanced
+// pairs per thread, report 2 ops per pair (op counting matches native_pq).
+template <class MakeFixture, class Op>
+RepMeasurement component_rep(u32 nthreads, u64 ops_per_thread, MakeFixture make,
+                             Op op) {
+  auto fixture = make(nthreads);
+  const double secs = timed_parallel(nthreads, [&](ProcId) {
+    for (u64 i = 0; i < ops_per_thread; ++i) op(*fixture);
+  });
+  return {secs, u64{nthreads} * ops_per_thread * 2};
 }
-
-void BM_McsLock(benchmark::State& state) {
-  static McsLock<NativePlatform> lock(kMaxThreads);
-  adopt(state);
-  u64 sink = 0;
-  for (auto _ : state) {
-    McsGuard<NativePlatform> g(lock);
-    benchmark::DoNotOptimize(++sink);
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_McsLock)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_TtasLock(benchmark::State& state) {
-  static TtasLock<NativePlatform> lock;
-  adopt(state);
-  u64 sink = 0;
-  for (auto _ : state) {
-    TtasGuard<NativePlatform> g(lock);
-    benchmark::DoNotOptimize(++sink);
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_TtasLock)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_CasCounterBfad(benchmark::State& state) {
-  static CasCounter<NativePlatform> ctr(1 << 20);
-  adopt(state);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctr.bfad(0));
-    benchmark::DoNotOptimize(ctr.fai());
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_CasCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_McsCounterBfad(benchmark::State& state) {
-  static McsCounter<NativePlatform> ctr(kMaxThreads, 1 << 20);
-  adopt(state);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctr.bfad(0));
-    benchmark::DoNotOptimize(ctr.fai());
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_McsCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_FunnelCounterBfad(benchmark::State& state) {
-  static FunnelCounter<NativePlatform> ctr(
-      kMaxThreads, FunnelParams::for_procs(kMaxThreads),
-      {/*bounded=*/true, /*eliminate=*/true, /*floor=*/0}, 1 << 20);
-  adopt(state);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ctr.bfad(0));
-    benchmark::DoNotOptimize(ctr.fai());
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_FunnelCounterBfad)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_LockedBin(benchmark::State& state) {
-  static LockedBin<NativePlatform> bin(kMaxThreads, 1 << 16);
-  adopt(state);
-  for (auto _ : state) {
-    bin.insert(42);
-    benchmark::DoNotOptimize(bin.remove());
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_LockedBin)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-void BM_FunnelStack(benchmark::State& state) {
-  static FunnelStack<NativePlatform> st(kMaxThreads,
-                                        FunnelParams::for_procs(kMaxThreads), 1 << 16);
-  adopt(state);
-  for (auto _ : state) {
-    st.push(42);
-    benchmark::DoNotOptimize(st.pop());
-  }
-  NativePlatform::release();
-}
-BENCHMARK(BM_FunnelStack)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  NativeBenchOptions opt;
+  opt.ops = 200000; // component ops are cheaper than whole-queue ops
+  if (!opt.parse(argc, argv)) return 2;
+  NativeBenchSuite suite("native_components", opt);
+
+  using Case = std::pair<const char*,
+                         std::function<RepMeasurement(u32, u64)>>;
+  const Case cases[] = {
+      {"McsLock",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops, [](u32 n) { return std::make_unique<McsLock<NativePlatform>>(n); },
+             [](McsLock<NativePlatform>& l) {
+               McsGuard<NativePlatform> g(l); // acquire+release = 2 ops
+             });
+       }},
+      {"TtasLock",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops, [](u32) { return std::make_unique<TtasLock<NativePlatform>>(); },
+             [](TtasLock<NativePlatform>& l) { TtasGuard<NativePlatform> g(l); });
+       }},
+      {"CasCounter",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32) { return std::make_unique<CasCounter<NativePlatform>>(1 << 20); },
+             [](CasCounter<NativePlatform>& c) {
+               c.fai();
+               c.bfad(0);
+             });
+       }},
+      {"McsCounter",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32 n) {
+               return std::make_unique<McsCounter<NativePlatform>>(n, 1 << 20);
+             },
+             [](McsCounter<NativePlatform>& c) {
+               c.fai();
+               c.bfad(0);
+             });
+       }},
+      {"FunnelCounter",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32 n) {
+               return std::make_unique<FunnelCounter<NativePlatform>>(
+                   n, FunnelParams::for_procs(n),
+                   typename FunnelCounter<NativePlatform>::Config{true, true, 0},
+                   1 << 20);
+             },
+             [](FunnelCounter<NativePlatform>& c) {
+               c.fai();
+               c.bfad(0);
+             });
+       }},
+      {"ReactiveCounter",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32 n) {
+               return std::make_unique<ReactiveCounter<NativePlatform>>(
+                   n, FunnelParams::for_procs(n), /*floor=*/0, /*initial=*/1 << 20);
+             },
+             [](ReactiveCounter<NativePlatform>& c) {
+               c.fai();
+               c.bfad(0);
+             });
+       }},
+      {"LockedBin",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32 n) {
+               return std::make_unique<LockedBin<NativePlatform>>(n, 1u << 16);
+             },
+             [](LockedBin<NativePlatform>& b) {
+               b.insert(42);
+               b.remove();
+             });
+       }},
+      {"FunnelStack",
+       [](u32 nt, u64 ops) {
+         return component_rep(
+             nt, ops,
+             [](u32 n) {
+               return std::make_unique<FunnelStack<NativePlatform>>(
+                   n, FunnelParams::for_procs(n), 1u << 16);
+             },
+             [](FunnelStack<NativePlatform>& s) {
+               s.push(42);
+               s.pop();
+             });
+       }},
+  };
+
+  for (const auto& [name, rep] : cases) {
+    if (!suite.selected(name)) continue;
+    suite.run_case("Component", name, rep);
+  }
+  return suite.finish();
+}

@@ -1,14 +1,18 @@
-// google-benchmark: the seven queues on the NATIVE backend, one
-// insert+delete-min pair per iteration, 1..4 threads. Complements the
-// simulator figures with real-hardware numbers at laptop-scale
-// concurrency. Queues are created once per algorithm and persist (each
-// iteration is balanced, so carried-over state is a few in-flight items).
-#include <array>
-#include <memory>
-#include <mutex>
-
-#include <benchmark/benchmark.h>
-
+// The seven queues on the NATIVE backend (std::atomic + real threads),
+// swept across an explicit thread-count list. Complements the simulator
+// figures with real-hardware numbers; oversubscribed counts are allowed
+// (and interesting — they exercise the spin-escalation paths).
+//
+// Each repetition builds a fresh queue, pre-fills it halfway, then runs a
+// mixed workload: every thread performs ops_per_thread insert+delete-min
+// pairs (both count as operations). Output: human table on stdout and the
+// `fpq.native-bench.v1` JSON (BENCH_native.json by default) — see
+// bench_support/native_bench.hpp for the schema and README for how to
+// read / diff the file.
+//
+//   native_pq --threads=1,2,4,8 --reps=5 --ops=100000 [--algos=FunnelTree,...]
+//             [--out=BENCH_native.json] [--pin] [--quick]
+#include "bench_support/native_bench.hpp"
 #include "core/registry.hpp"
 #include "platform/native.hpp"
 
@@ -16,38 +20,40 @@ using namespace fpq;
 
 namespace {
 
-constexpr u32 kMaxThreads = 8;
+constexpr u32 kPrios = 16;
 
-IPriorityQueue<NativePlatform>& queue_for(Algorithm algo) {
-  static std::array<std::unique_ptr<IPriorityQueue<NativePlatform>>, 7> queues;
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lk(mu);
-  auto& slot = queues[static_cast<std::size_t>(algo)];
-  if (!slot) {
-    PqParams params;
-    params.npriorities = 16;
-    params.maxprocs = kMaxThreads;
-    params.bin_capacity = 1u << 16;
-    slot = make_priority_queue<NativePlatform>(algo, params);
-  }
-  return *slot;
-}
-
-void BM_PqMixed(benchmark::State& state) {
-  const Algorithm algo = static_cast<Algorithm>(state.range(0));
-  IPriorityQueue<NativePlatform>& pq = queue_for(algo);
-  NativePlatform::adopt(static_cast<ProcId>(state.thread_index()),
-                        static_cast<u32>(state.threads()));
-  for (auto _ : state) {
-    pq.insert(static_cast<Prio>(NativePlatform::rnd(16)), 7);
-    benchmark::DoNotOptimize(pq.delete_min());
-  }
-  NativePlatform::release();
-  state.SetLabel(std::string(to_string(algo)));
+RepMeasurement run_rep(Algorithm algo, u32 nthreads, u64 ops_per_thread) {
+  PqParams params;
+  params.npriorities = kPrios;
+  params.maxprocs = nthreads;
+  params.bin_capacity = 1u << 16;
+  auto pq = make_priority_queue<NativePlatform>(algo, params);
+  // Half-full steady state so delete_min rarely sees an empty queue.
+  NativePlatform::run(1, [&](ProcId) {
+    for (u32 i = 0; i < 256; ++i)
+      pq->insert(static_cast<Prio>(NativePlatform::rnd(kPrios)), i);
+  });
+  const double secs = timed_parallel(nthreads, [&](ProcId) {
+    for (u64 i = 0; i < ops_per_thread; ++i) {
+      pq->insert(static_cast<Prio>(NativePlatform::rnd(kPrios)), 7);
+      pq->delete_min();
+    }
+  });
+  return {secs, u64{nthreads} * ops_per_thread * 2};
 }
 
 } // namespace
 
-BENCHMARK(BM_PqMixed)->DenseRange(0, 6, 1)->ThreadRange(1, 4)->UseRealTime()->MinTime(0.05);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  NativeBenchOptions opt;
+  if (!opt.parse(argc, argv)) return 2;
+  NativeBenchSuite suite("native_pq", opt);
+  for (Algorithm algo : all_algorithms()) {
+    const std::string name{to_string(algo)};
+    if (!suite.selected(name)) continue;
+    suite.run_case("PqMixed", name, [algo](u32 nt, u64 ops) {
+      return run_rep(algo, nt, ops);
+    });
+  }
+  return suite.finish();
+}

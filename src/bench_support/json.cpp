@@ -1,0 +1,116 @@
+#include "bench_support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace fpq {
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) os_ << ',';
+    newline_indent();
+  }
+  if (!stack_.empty()) stack_.back().has_value = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  stack_.push_back({false, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = stack_.back().has_value;
+  stack_.pop_back();
+  if (had) newline_indent();
+  os_ << '}';
+  if (stack_.empty()) os_ << '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  stack_.push_back({false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = stack_.back().has_value;
+  stack_.pop_back();
+  if (had) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.back().has_value) os_ << ',';
+  newline_indent();
+  stack_.back().has_value = true;
+  os_ << '"';
+  for (char c : k) {
+    if (c == '"' || c == '\\') os_ << '\\';
+    os_ << c;
+  }
+  os_ << "\": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  os_ << '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\t': os_ << "\\t"; break;
+      default: os_ << c;
+    }
+  }
+  os_ << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    os_ << "null"; // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(u64 v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(i64 v) {
+  pre_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+} // namespace fpq

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer for the benchmark output files. Scope is
+// deliberately tiny — objects, arrays, string/number/bool fields, correct
+// comma placement and string escaping, two-space indentation — enough for
+// the stable `fpq.native-bench.v1` schema without pulling in a JSON
+// library dependency.
+#pragma once
+
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Write `"key":` — must be followed by a value or begin_*.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(u64 v);
+  JsonWriter& value(u32 v) { return value(static_cast<u64>(v)); }
+  JsonWriter& value(i64 v);
+  JsonWriter& value(bool v);
+
+  template <class T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  // One frame per open object/array: whether a value was already emitted
+  // (controls the comma) and whether we sit right after a key.
+  struct Frame {
+    bool has_value = false;
+    bool in_array = false;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+} // namespace fpq

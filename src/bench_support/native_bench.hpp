@@ -1,0 +1,106 @@
+// Shared harness for the native-backend benchmark binaries (bench/native_pq,
+// bench/native_components). Replaces the earlier google-benchmark harness
+// with one that
+//   * sweeps an explicit thread-count list (CSV flag, oversubscription
+//     allowed — the spin escalation paths are part of what is measured),
+//   * re-creates the fixture for every repetition (no cross-rep warmth),
+//   * reports ops/sec with a 95% confidence interval over repetitions
+//     (bench_support/stats.hpp), and
+//   * writes the stable `fpq.native-bench.v1` JSON schema consumed by CI
+//     and by perf-tracking diffs (see README "Native benchmarks").
+//
+// Schema (one document per binary invocation):
+//   {
+//     "schema": "fpq.native-bench.v1",
+//     "suite": "native_pq" | "native_components",
+//     "build": { "force_seq_cst": bool, "compiler": str,
+//                "hardware_concurrency": int, "sanitizer": str },
+//     "config": { "ops_per_thread": int, "reps": int, "pin": bool,
+//                 "quick": bool },
+//     "results": [ { "bench": str, "algo": str, "threads": int,
+//                    "reps": int, "total_ops": int,
+//                    "ops_per_sec": { "mean": num, "sd": num,
+//                                     "ci95_lo": num, "ci95_hi": num,
+//                                     "n": int } }, ... ]
+//   }
+// Additive changes bump the minor suffix (v1 -> v2); consumers must
+// ignore unknown fields.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_support/stats.hpp"
+#include "common/types.hpp"
+#include "platform/native.hpp"
+
+namespace fpq {
+
+struct NativeBenchOptions {
+  std::vector<u32> threads{1, 2, 4, 8};
+  u32 reps = 5;
+  u64 ops = 100000; // per thread per repetition
+  bool pin = false;
+  bool quick = false;
+  std::string out = "BENCH_native.json";
+  std::vector<std::string> algos; // empty = everything the suite offers
+
+  /// Parse --threads/--reps/--ops/--algos/--out/--pin/--quick. Returns
+  /// false (after printing usage to stderr) on a malformed flag. --quick
+  /// is applied last: ops is divided by 10 (floor 1000) and reps capped
+  /// at 3, regardless of flag order.
+  bool parse(int argc, char** argv);
+};
+
+/// One (bench, algo, thread-count) cell.
+struct NativeBenchResult {
+  std::string bench;
+  std::string algo;
+  u32 threads = 0;
+  u64 total_ops = 0;     // per repetition
+  Summary ops_per_sec;   // over repetitions
+};
+
+/// Time a NativePlatform::run section; returns wall seconds.
+template <class Fn>
+double timed_parallel(u32 nthreads, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  NativePlatform::run(nthreads, std::forward<Fn>(fn));
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// What one repetition measured: wall seconds for `ops` operations.
+struct RepMeasurement {
+  double seconds = 0;
+  u64 ops = 0;
+};
+
+class NativeBenchSuite {
+ public:
+  /// Applies opt.pin to the platform on construction.
+  NativeBenchSuite(std::string suite, const NativeBenchOptions& opt);
+
+  /// True if `name` is selected by --algos (or no filter was given).
+  bool selected(const std::string& name) const;
+
+  /// Run one cell across the thread sweep: for each thread count, one
+  /// untimed warmup repetition then opt.reps measured ones. `rep` must
+  /// build a fresh fixture, execute ops_per_thread operations per thread
+  /// and report what it measured (construction time excluded by timing
+  /// inside `rep` via timed_parallel).
+  void run_case(const std::string& bench, const std::string& algo,
+                const std::function<RepMeasurement(u32 nthreads, u64 ops_per_thread)>& rep);
+
+  /// Print the human table and write opt.out; returns a process exit code.
+  int finish();
+
+ private:
+  std::string suite_;
+  NativeBenchOptions opt_;
+  std::vector<NativeBenchResult> results_;
+};
+
+} // namespace fpq

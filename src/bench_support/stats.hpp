@@ -31,6 +31,21 @@ struct OpStats {
   OpStats& operator+=(const OpStats& o);
 };
 
+/// Summary statistics over benchmark repetitions: sample mean, sample
+/// standard deviation and a 95% confidence interval for the mean
+/// (Student's t for small n, since bench reps are typically 3..10).
+struct Summary {
+  double mean = 0.0;
+  double sd = 0.0;
+  double ci95_lo = 0.0;
+  double ci95_hi = 0.0;
+  u32 n = 0;
+};
+
+/// Summarize a set of repetition measurements. n == 0 returns all zeros;
+/// n == 1 returns a degenerate interval [x, x].
+Summary summarize(const std::vector<double>& xs);
+
 /// "12.7" style thousands-of-cycles formatting used by the paper's Fig. 8.
 std::string fmt_kcycles(double cycles);
 

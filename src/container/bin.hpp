@@ -24,13 +24,18 @@ class LockedBin {
     FPQ_ASSERT(capacity > 0);
   }
 
+  // Ordering contract: size_ and elems_ are only written inside the MCS
+  // critical section, whose acquire/release edges order them — the
+  // accesses themselves are relaxed. The lock-free empty() probe reads
+  // acquire so a true "non-empty" answer is backed by a visible item.
+
   /// bin-insert. Returns false when the bin is full.
   bool insert(Item e) {
     McsGuard<P> g(lock_);
-    const u64 n = size_.load();
+    const u64 n = size_.load_relaxed();
     if (n >= elems_.size()) return false;
-    elems_[n].store(e);
-    size_.store(n + 1);
+    elems_[n].store_relaxed(e);
+    size_.store_relaxed(n + 1);
     return true;
   }
 
@@ -38,16 +43,16 @@ class LockedBin {
   /// the paper's array code).
   std::optional<Item> remove() {
     McsGuard<P> g(lock_);
-    const u64 n = size_.load();
+    const u64 n = size_.load_relaxed();
     if (n == 0) return std::nullopt;
-    Item e = elems_[n - 1].load();
-    size_.store(n - 1);
+    Item e = elems_[n - 1].load_relaxed();
+    size_.store_relaxed(n - 1);
     return e;
   }
 
   /// bin-empty: a single read of the size word, no lock (paper Fig. 1 and
   /// the LinearFunnels discussion in §3.2 both rely on this being cheap).
-  bool empty() const { return size_.load() == 0; }
+  bool empty() const { return size_.load_acquire() == 0; }
 
   u32 capacity() const { return static_cast<u32>(elems_.size()); }
 

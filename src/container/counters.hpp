@@ -19,36 +19,42 @@
 
 namespace fpq {
 
+// Ordering contract for both counters: every successful mutation is an
+// acq_rel RMW (or happens inside the MCS critical section), so the ticket
+// a counter hands out carries a happens-before edge from every earlier
+// ticket holder — what SimpleTree/FunnelTree rely on when a delete-min
+// descends toward items whose inserts published counts on the way up.
+// Loads that only feed a CAS retry are relaxed.
 template <Platform P>
 class CasCounter {
  public:
   explicit CasCounter(i64 initial = 0) : v_(initial) {}
 
-  i64 fai() { return v_.fetch_add(1); }
-  i64 fad() { return v_.fetch_add(-1); }
+  i64 fai() { return v_.fetch_add(1, MemOrder::kAcqRel); }
+  i64 fad() { return v_.fetch_sub(1, MemOrder::kAcqRel); }
 
   /// Bounded fetch-and-decrement: decrements only if the current value is
   /// greater than `bound`; always returns the pre-operation value
   /// (paper Fig. 1, BFaD).
   i64 bfad(i64 bound) {
-    i64 old = v_.load();
+    i64 old = v_.load_relaxed();
     for (;;) {
       if (old <= bound) return old;
-      if (v_.compare_exchange(old, old - 1)) return old;
+      if (v_.compare_exchange(old, old - 1, MemOrder::kAcqRel, MemOrder::kRelaxed)) return old;
       // compare_exchange reloaded `old` on failure.
     }
   }
 
   /// Bounded fetch-and-increment: increments only while below `bound`.
   i64 bfai(i64 bound) {
-    i64 old = v_.load();
+    i64 old = v_.load_relaxed();
     for (;;) {
       if (old >= bound) return old;
-      if (v_.compare_exchange(old, old + 1)) return old;
+      if (v_.compare_exchange(old, old + 1, MemOrder::kAcqRel, MemOrder::kRelaxed)) return old;
     }
   }
 
-  i64 read() const { return v_.load(); }
+  i64 read() const { return v_.load_acquire(); }
 
  private:
   typename P::template Shared<i64> v_;
@@ -59,35 +65,37 @@ class McsCounter {
  public:
   McsCounter(u32 maxprocs, i64 initial = 0) : lock_(maxprocs), v_(initial) {}
 
+  // v_ is only touched inside the critical section; the lock's edges order
+  // it, so the accesses are relaxed.
   i64 fai() {
     McsGuard<P> g(lock_);
-    i64 old = v_.load();
-    v_.store(old + 1);
+    i64 old = v_.load_relaxed();
+    v_.store_relaxed(old + 1);
     return old;
   }
 
   i64 fad() {
     McsGuard<P> g(lock_);
-    i64 old = v_.load();
-    v_.store(old - 1);
+    i64 old = v_.load_relaxed();
+    v_.store_relaxed(old - 1);
     return old;
   }
 
   i64 bfad(i64 bound) {
     McsGuard<P> g(lock_);
-    i64 old = v_.load();
-    if (old > bound) v_.store(old - 1);
+    i64 old = v_.load_relaxed();
+    if (old > bound) v_.store_relaxed(old - 1);
     return old;
   }
 
   i64 bfai(i64 bound) {
     McsGuard<P> g(lock_);
-    i64 old = v_.load();
-    if (old < bound) v_.store(old + 1);
+    i64 old = v_.load_relaxed();
+    if (old < bound) v_.store_relaxed(old + 1);
     return old;
   }
 
-  i64 read() const { return v_.load(); }
+  i64 read() const { return v_.load_acquire(); }
 
  private:
   McsLock<P> lock_;

@@ -67,10 +67,12 @@ class ReactiveCounter {
   }
 
   /// Quiescent-only read.
-  i64 read() const { return mode_.load() == kFunnel ? funnel_.read() : value_.load(); }
+  i64 read() const {
+    return mode_.load_acquire() == kFunnel ? funnel_.read() : value_.load_acquire();
+  }
 
-  bool using_funnel() const { return mode_.load() == kFunnel; }
-  u64 switches() const { return switches_.load(); }
+  bool using_funnel() const { return mode_.load_acquire() == kFunnel; }
+  u64 switches() const { return switches_.load_acquire(); }
 
  private:
   static constexpr u32 kMcs = 0;
@@ -82,16 +84,21 @@ class ReactiveCounter {
     u32 calm = 0; // cheap funnel ops in a row
   };
 
+  // Ordering contract: the announce fetch_add is acq_rel (acquires the
+  // switcher's mode publication), the retire fetch_sub is release (its
+  // effects must be visible to the switcher's drain, whose acquire spin on
+  // active_[m]==0 is the matching edge); value_ itself is protected by the
+  // MCS lock or by that drain handshake, so its accesses are relaxed.
   i64 apply(i64 delta) {
     for (;;) {
-      const u32 m = mode_.load();
+      const u32 m = mode_.load_acquire();
       if (m == kTransition) {
         P::pause();
         continue;
       }
-      active_[m].fetch_add(1);
-      if (mode_.load() != m) {
-        active_[m].fetch_add(static_cast<u64>(-1));
+      active_[m].fetch_add(1, MemOrder::kAcqRel);
+      if (mode_.load_acquire() != m) {
+        active_[m].fetch_sub(1, MemOrder::kRelease);
         continue;
       }
       i64 result;
@@ -100,14 +107,14 @@ class ReactiveCounter {
         const Cycles t0 = P::now();
         McsGuard<P> g(lock_);
         contended = P::now() - t0 > tuning_.high_wait;
-        result = value_.load();
-        if (delta > 0 || result > floor_) value_.store(result + delta);
+        result = value_.load_relaxed();
+        if (delta > 0 || result > floor_) value_.store_relaxed(result + delta);
       } else {
         const Cycles t0 = P::now();
         result = delta > 0 ? funnel_.fai() : funnel_.bfad(floor_);
         contended = P::now() - t0 > tuning_.high_wait;
       }
-      active_[m].fetch_add(static_cast<u64>(-1));
+      active_[m].fetch_sub(1, MemOrder::kRelease);
       maybe_switch(m, contended);
       return result;
     }
@@ -132,15 +139,17 @@ class ReactiveCounter {
 
   void switch_mode(u32 from, u32 to) {
     u32 expected = from;
-    if (!mode_.compare_exchange(expected, kTransition)) return; // lost the race
-    // Drain the outgoing representation: every announced op retires.
+    if (!mode_.compare_exchange(expected, kTransition, MemOrder::kAcqRel, MemOrder::kRelaxed))
+      return; // lost the race
+    // Drain the outgoing representation: every announced op retires (their
+    // release retirements pair with this acquire spin).
     P::spin_until(active_[from], [](u64 a) { return a == 0; });
     if (to == kFunnel)
-      funnel_.set_value(value_.load());
+      funnel_.set_value(value_.load_relaxed());
     else
-      value_.store(funnel_.read());
-    switches_.fetch_add(1);
-    mode_.store(to);
+      value_.store_relaxed(funnel_.read());
+    switches_.fetch_add(1, MemOrder::kRelaxed);
+    mode_.store_release(to); // publishes the transferred value
   }
 
   Tuning tuning_;

@@ -71,7 +71,7 @@ class FunnelCounter {
     for (u32 i = 0; i < maxprocs; ++i) records_.push_back(std::make_unique<Rec>());
     layers_.resize(params_.levels);
     for (u32 d = 0; d < params_.levels; ++d) {
-      layers_[d] = std::make_unique<Slot[]>(params_.width[d]);
+      layers_[d] = std::make_unique<Padded<Slot>[]>(params_.width[d]);
     }
   }
 
@@ -107,12 +107,12 @@ class FunnelCounter {
   }
 
   /// Unsynchronized read of the central value (quiescent use only).
-  i64 read() const { return central_.load(); }
+  i64 read() const { return central_.load_acquire(); }
 
   /// Unsynchronized write of the central value. Only legal while no
   /// operation is in flight (used by reactive wrappers when switching
   /// representations).
-  void set_value(i64 v) { central_.store(v); }
+  void set_value(i64 v) { central_.store_release(v); }
 
   const Config& config() const { return cfg_; }
 
@@ -145,6 +145,18 @@ class FunnelCounter {
 
   static u64 loc(u32 depth) { return static_cast<u64>(depth) + 1; }
 
+  // Ordering contract of the collision protocol (shared with FunnelStack):
+  //   * A record's payload (sum, result fields) is written relaxed and
+  //     *published* by the release store of its location word; the
+  //     capturer's successful acq_rel CAS on that same location word is the
+  //     matching acquire, after which it may read the payload relaxed.
+  //   * Verdicts flow the other way: result_value is written relaxed and
+  //     published by the release store of result_state; the waiter's
+  //     acquire spin on result_state is the matching edge.
+  //   * Layer-slot exchanges are acq_rel so a record pointer read from a
+  //     slot carries the owner's preceding location publication.
+  //   * The central CAS is acq_rel: each winner acquires the edges of every
+  //     earlier winner, which is all the ordering the tickets need.
   i64 apply(i64 delta) {
     Rec& my = *records_[P::self()];
     // Adaption (§3.1): a processor that has seen no collisions lately
@@ -155,9 +167,10 @@ class FunnelCounter {
     if (params_.adaptive && my.adaption <= params_.adapt_min * 1.01) {
       Backoff<P> fast_backoff(8, 64);
       for (u32 tries = 0; tries < 3; ++tries) {
-        i64 val = central_.load();
+        i64 val = central_.load_relaxed();
         const i64 nv_fast = clamp(val + delta);
-        if (central_.compare_exchange(val, nv_fast)) return val;
+        if (central_.compare_exchange(val, nv_fast, MemOrder::kAcqRel, MemOrder::kRelaxed))
+          return val;
         fast_backoff.spin();
       }
       my.adaption = std::min(1.0, my.adaption * 2.0); // contention after all
@@ -165,10 +178,10 @@ class FunnelCounter {
     my.own_delta = delta;
     my.local_sum = delta;
     my.children.clear();
-    my.result_state.store(kStEmpty);
-    my.sum.store(delta);
+    my.result_state.store_relaxed(kStEmpty);
+    my.sum.store_relaxed(delta);
     u32 d = 0;
-    my.location.store(loc(0));
+    my.location.store_release(loc(0)); // publishes sum/result_state
     bool collided = false;
     Backoff<P> central_backoff(16, 2048);
 
@@ -178,27 +191,29 @@ class FunnelCounter {
       while (n < params_.attempts && d < params_.levels) {
         ++n;
         const u32 wid = effective_width(my, d);
-        Rec* q = layers_[d][P::rnd(wid)].exchange(&my);
+        Rec* q = (*layers_[d][P::rnd(wid)]).exchange(&my, MemOrder::kAcqRel);
         if (q != nullptr && q != &my) {
           u64 mloc = loc(d);
-          if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+          if (!my.location.compare_exchange(mloc, kLocEmpty, MemOrder::kAcqRel,
+                                            MemOrder::kRelaxed)) {
             if (auto r = finish_as_child(my, d)) return *r; // captured first
             continue;                                       // told to retry
           }
           u64 qloc = loc(d);
-          if (q->location.compare_exchange(qloc, kLocEmpty)) {
-            const i64 qsum = q->sum.load();
+          if (q->location.compare_exchange(qloc, kLocEmpty, MemOrder::kAcqRel,
+                                           MemOrder::kRelaxed)) {
+            const i64 qsum = q->sum.load_relaxed(); // ordered by the capture CAS
             if (cfg_.bounded && cfg_.eliminate && qsum == -my.local_sum) {
               return eliminate_with(my, *q, qsum); // opposite equal trees
             }
             if (!cfg_.bounded || qsum == my.local_sum) {
               // Combine: q's tree hangs under ours; ascend a layer.
               my.local_sum += qsum;
-              my.sum.store(my.local_sum);
+              my.sum.store_relaxed(my.local_sum);
               my.children.push_back(q);
               collided = true;
               ++d;
-              my.location.store(loc(d));
+              my.location.store_release(loc(d));
               n = 0; // fresh attempt budget at the new layer (line 22)
               continue;
             }
@@ -206,16 +221,16 @@ class FunnelCounter {
             // q captured and cannot serve it — tell it to rejoin the layer
             // itself. Silently restoring q's location would race with q
             // noticing the capture and waiting forever.
-            q->result_state.store(kStRetry);
-            my.location.store(loc(d));
+            q->result_state.store_release(kStRetry);
+            my.location.store_release(loc(d));
             continue;
           }
           // Failed to lock the partner; rejoin the layer (line 24).
-          my.location.store(loc(d));
+          my.location.store_release(loc(d));
         }
         // Wait to be captured for a while (lines 25-26).
         for (u32 i = 0; i < params_.spin[d]; ++i) {
-          if (my.location.load() != loc(d)) {
+          if (my.location.load_relaxed() != loc(d)) {
             if (auto r = finish_as_child(my, d)) return *r;
             break; // retry: rejoin the attempts loop
           }
@@ -224,22 +239,23 @@ class FunnelCounter {
 
       // ---- Central attempt (lines 28-37).
       u64 mloc = loc(d);
-      if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+      if (!my.location.compare_exchange(mloc, kLocEmpty, MemOrder::kAcqRel,
+                                        MemOrder::kRelaxed)) {
         if (auto r = finish_as_child(my, d)) return *r;
         continue;
       }
-      i64 val = central_.load();
+      i64 val = central_.load_relaxed();
       const i64 nv = clamp(val + my.local_sum);
-      if (central_.compare_exchange(val, nv)) {
+      if (central_.compare_exchange(val, nv, MemOrder::kAcqRel, MemOrder::kRelaxed)) {
         adapt(my, collided);
         distribute(my, kStCount, val);
         return val;
       }
-      my.location.store(loc(d)); // lost the race; rejoin the funnel
+      my.location.store_release(loc(d)); // lost the race; rejoin the funnel
       // Randomized backoff keeps failed central CAS-ers from convoying
       // (while waiting in the layer they remain capturable).
       central_backoff.spin();
-      if (my.location.load() != loc(d)) {
+      if (my.location.load_relaxed() != loc(d)) {
         if (auto r = finish_as_child(my, d)) return *r;
       }
     }
@@ -250,12 +266,12 @@ class FunnelCounter {
   /// (adjusted up off the floor), every member of the incrementing tree
   /// v-1 — the interleaving "inc, dec, inc, dec, ..." made explicit.
   i64 eliminate_with(Rec& my, Rec& q, i64 qsum) {
-    i64 v = central_.load();
+    i64 v = central_.load_acquire();
     if (v == cfg_.floor) v += 1; // line 14: the leading op must be the inc
     const i64 my_base = my.local_sum < 0 ? v : v - 1;
     const i64 q_base = qsum < 0 ? v : v - 1;
-    q.result_value.store(q_base);
-    q.result_state.store(kStElim);
+    q.result_value.store_relaxed(q_base);
+    q.result_state.store_release(kStElim); // publishes the verdict payload
     adapt(my, true);
     distribute(my, kStElim, my_base);
     return my_base;
@@ -267,11 +283,11 @@ class FunnelCounter {
   std::optional<i64> finish_as_child(Rec& my, u32 d) {
     const u32 st = P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
     if (st == kStRetry) {
-      my.result_state.store(kStEmpty);
-      my.location.store(loc(d)); // rejoin; we were uncapturable meanwhile
+      my.result_state.store_relaxed(kStEmpty);
+      my.location.store_release(loc(d)); // rejoin; we were uncapturable meanwhile
       return std::nullopt;
     }
-    const i64 base = my.result_value.load();
+    const i64 base = my.result_value.load_relaxed(); // ordered by the acquire spin
     adapt(my, true); // being captured is a successful collision too
     distribute(my, st, base);
     return base;
@@ -279,21 +295,24 @@ class FunnelCounter {
 
   /// Hands each child subtree its position in the operation sequence
   /// (Fig. 10 lines 41-47, with the floor clamp folded into the sequence).
+  /// Captured children are frozen (they spin on result_state), so their
+  /// sums are stable and readable relaxed; each verdict is published by the
+  /// release store of the child's result_state.
   void distribute(Rec& my, u32 event, i64 base) {
     if (my.children.empty()) return;
     if (event == kStElim) {
       for (Rec* c : my.children) {
-        c->result_value.store(base);
-        c->result_state.store(kStElim);
+        c->result_value.store_relaxed(base);
+        c->result_state.store_release(kStElim);
       }
       return;
     }
     if (!cfg_.bounded) {
       i64 running = my.own_delta;
       for (Rec* c : my.children) {
-        const i64 csum = c->sum.load();
-        c->result_value.store(base + running);
-        c->result_state.store(kStCount);
+        const i64 csum = c->sum.load_relaxed();
+        c->result_value.store_relaxed(base + running);
+        c->result_state.store_release(kStCount);
         running += csum;
       }
       return;
@@ -302,9 +321,9 @@ class FunnelCounter {
     const bool decrementing = my.own_delta < 0;
     u64 steps = 1; // my own operation comes first
     for (Rec* c : my.children) {
-      const u64 csize = static_cast<u64>(std::llabs(c->sum.load()));
-      c->result_value.store(advance(base, steps, decrementing));
-      c->result_state.store(kStCount);
+      const u64 csize = static_cast<u64>(std::llabs(c->sum.load_relaxed()));
+      c->result_value.store_relaxed(advance(base, steps, decrementing));
+      c->result_state.store_release(kStCount);
       steps += csize;
     }
   }
@@ -346,9 +365,12 @@ class FunnelCounter {
 
   FunnelParams params_;
   Config cfg_;
-  typename P::template Shared<i64> central_;
+  /// The hot word every surviving tree CASes; keep it off its neighbors'
+  /// cache lines.
+  alignas(kCacheLineBytes) typename P::template Shared<i64> central_;
   std::vector<std::unique_ptr<Rec>> records_;
-  std::vector<std::unique_ptr<Slot[]>> layers_;
+  /// Layer slots are swapped by unrelated processors — one per cache line.
+  std::vector<std::unique_ptr<Padded<Slot>[]>> layers_;
 };
 
 } // namespace fpq

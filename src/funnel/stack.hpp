@@ -66,7 +66,7 @@ class FunnelStack {
     for (u32 i = 0; i < maxprocs; ++i) records_.push_back(std::make_unique<Rec>(batch));
     layers_.resize(params_.levels);
     for (u32 d = 0; d < params_.levels; ++d)
-      layers_[d] = std::make_unique<Slot[]>(params_.width[d]);
+      layers_[d] = std::make_unique<Padded<Slot>[]>(params_.width[d]);
   }
 
   /// Pushes one item. Returns false when the central stack is full (the
@@ -74,7 +74,7 @@ class FunnelStack {
   bool push(Item v) {
     FPQ_ASSERT_MSG(v != kNoEntry, "item value reserved as sentinel");
     Rec& my = *records_[P::self()];
-    my.buf[0].store(v);
+    my.buf[0].store_relaxed(v); // published by the location release in apply()
     const u64 r = apply(my, /*delta=*/+1);
     return r != kFullResult;
   }
@@ -88,8 +88,8 @@ class FunnelStack {
   }
 
   /// One shared read (bin-empty of Fig. 1 / §3.2).
-  bool empty() const { return size_.load() == 0; }
-  u64 size() const { return size_.load(); }
+  bool empty() const { return size_.load_acquire() == 0; }
+  u64 size() const { return size_.load_acquire(); }
   u32 capacity() const { return static_cast<u32>(cells_.size()); }
   BinOrder order() const { return order_; }
 
@@ -132,6 +132,10 @@ class FunnelStack {
   /// Runs the funnel for one push (+1) or pop (-1). Returns:
   ///   pop  — the item, or kNoItem;
   ///   push — kPushedResult on success, kFullResult when refused.
+  /// Ordering contract: identical to FunnelCounter::apply (payload
+  /// published by the location release store, captured via acq_rel CAS;
+  /// verdicts published by the result_state release store, received by the
+  /// acquire spin) — see counter.hpp. Item buffers ride those same edges.
   u64 apply(Rec& my, i64 delta) {
     my.local_sum = delta;
     my.children.clear();
@@ -146,10 +150,10 @@ class FunnelStack {
         my.adaption = std::min(1.0, my.adaption * 1.5);
       return r;
     }
-    my.result_state.store(kStEmpty);
-    my.sum.store(delta);
+    my.result_state.store_relaxed(kStEmpty);
+    my.sum.store_relaxed(delta);
     u32 d = 0;
-    my.location.store(loc(0));
+    my.location.store_release(loc(0)); // publishes sum/state/buf[0]
     bool collided = false;
 
     for (;;) {
@@ -157,36 +161,38 @@ class FunnelStack {
       while (n < params_.attempts && d < params_.levels) {
         ++n;
         const u32 wid = effective_width(my, d);
-        Rec* q = layers_[d][P::rnd(wid)].exchange(&my);
+        Rec* q = (*layers_[d][P::rnd(wid)]).exchange(&my, MemOrder::kAcqRel);
         if (q != nullptr && q != &my) {
           u64 mloc = loc(d);
-          if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+          if (!my.location.compare_exchange(mloc, kLocEmpty, MemOrder::kAcqRel,
+                                            MemOrder::kRelaxed)) {
             if (auto r = finish_as_child(my, d)) return *r;
             continue; // told to retry; we already rejoined the layer
           }
           u64 qloc = loc(d);
-          if (q->location.compare_exchange(qloc, kLocEmpty)) {
-            const i64 qsum = q->sum.load();
+          if (q->location.compare_exchange(qloc, kLocEmpty, MemOrder::kAcqRel,
+                                           MemOrder::kRelaxed)) {
+            const i64 qsum = q->sum.load_relaxed(); // ordered by the capture CAS
             if (eliminate_ && qsum == -my.local_sum) return eliminate_with(my, *q);
             if (qsum == my.local_sum) {
               combine_with(my, *q);
               collided = true;
               ++d;
-              my.location.store(loc(d));
+              my.location.store_release(loc(d));
               n = 0;
               continue;
             }
             // Opposite trees with elimination off: hand the captured
             // partner an explicit retry (see counter.hpp for the race this
             // avoids).
-            q->result_state.store(kStRetry);
-            my.location.store(loc(d));
+            q->result_state.store_release(kStRetry);
+            my.location.store_release(loc(d));
             continue;
           }
-          my.location.store(loc(d));
+          my.location.store_release(loc(d));
         }
         for (u32 i = 0; i < params_.spin[d]; ++i) {
-          if (my.location.load() != loc(d)) {
+          if (my.location.load_relaxed() != loc(d)) {
             if (auto r = finish_as_child(my, d)) return *r;
             break; // retry: rejoin the attempts loop
           }
@@ -194,7 +200,8 @@ class FunnelStack {
       }
 
       u64 mloc = loc(d);
-      if (!my.location.compare_exchange(mloc, kLocEmpty)) {
+      if (!my.location.compare_exchange(mloc, kLocEmpty, MemOrder::kAcqRel,
+                                        MemOrder::kRelaxed)) {
         if (auto r = finish_as_child(my, d)) return *r;
         continue;
       }
@@ -204,17 +211,19 @@ class FunnelStack {
     }
   }
 
-  /// Merges the captured same-operation subtree into ours.
+  /// Merges the captured same-operation subtree into ours. q is frozen
+  /// (spinning on its result_state) and was acquired by the capture CAS,
+  /// so its sum and items are readable relaxed.
   void combine_with(Rec& my, Rec& q) {
     const u64 mine = tree_size(my.local_sum);
-    const u64 theirs = tree_size(q.sum.load());
+    const u64 theirs = tree_size(q.sum.load_relaxed());
     if (my.local_sum > 0) {
       // Push tree: pull q's items up into our buffer.
       FPQ_ASSERT(mine + theirs <= max_batch());
-      for (u64 i = 0; i < theirs; ++i) my.buf[mine + i].store(q.buf[i].load());
+      for (u64 i = 0; i < theirs; ++i) my.buf[mine + i].store_relaxed(q.buf[i].load_relaxed());
     }
-    my.local_sum += q.sum.load();
-    my.sum.store(my.local_sum);
+    my.local_sum += q.sum.load_relaxed();
+    my.sum.store_relaxed(my.local_sum);
     my.children.push_back(&q);
   }
 
@@ -224,14 +233,14 @@ class FunnelStack {
     const u64 k = tree_size(my.local_sum);
     Rec& pusher = my.local_sum > 0 ? my : q;
     Rec& popper = my.local_sum > 0 ? q : my;
-    for (u64 i = 0; i < k; ++i) popper.buf[i].store(pusher.buf[i].load());
+    for (u64 i = 0; i < k; ++i) popper.buf[i].store_relaxed(pusher.buf[i].load_relaxed());
     adapt(my, true);
     if (&popper == &q) {
-      q.result_state.store(kStPopped);
+      q.result_state.store_release(kStPopped); // publishes q's buf slice
       distribute_push(my, kStPushed);
       return kPushedResult;
     }
-    q.result_state.store(kStPushed);
+    q.result_state.store_release(kStPushed);
     return distribute_pop(my);
   }
 
@@ -242,18 +251,21 @@ class FunnelStack {
   u64 central_apply(Rec& my) {
     const u64 k = tree_size(my.local_sum);
     const u64 cap = cells_.size();
+    // cells_/head_/tail_/size_ are only touched inside the MCS critical
+    // section; the lock's edges order them, so the accesses are relaxed.
     if (my.local_sum > 0) {
       bool full = false;
       {
         McsGuard<P> g(lock_);
-        const u64 n = size_.load();
+        const u64 n = size_.load_relaxed();
         if (n + k > cap) {
           full = true;
         } else {
-          const u64 t = tail_.load();
-          for (u64 i = 0; i < k; ++i) cells_[(t + i) % cap].store(my.buf[i].load());
-          tail_.store(t + k);
-          size_.store(n + k);
+          const u64 t = tail_.load_relaxed();
+          for (u64 i = 0; i < k; ++i)
+            cells_[(t + i) % cap].store_relaxed(my.buf[i].load_relaxed());
+          tail_.store_relaxed(t + k);
+          size_.store_relaxed(n + k);
         }
       }
       distribute_push(my, full ? kStFull : kStPushed);
@@ -261,19 +273,21 @@ class FunnelStack {
     }
     {
       McsGuard<P> g(lock_);
-      const u64 n = size_.load();
+      const u64 n = size_.load_relaxed();
       const u64 m = n < k ? n : k;
       if (order_ == BinOrder::kLifo) {
-        const u64 t = tail_.load();
-        for (u64 i = 0; i < m; ++i) my.buf[i].store(cells_[(t - 1 - i) % cap].load());
-        tail_.store(t - m);
+        const u64 t = tail_.load_relaxed();
+        for (u64 i = 0; i < m; ++i)
+          my.buf[i].store_relaxed(cells_[(t - 1 - i) % cap].load_relaxed());
+        tail_.store_relaxed(t - m);
       } else {
-        const u64 h = head_.load();
-        for (u64 i = 0; i < m; ++i) my.buf[i].store(cells_[(h + i) % cap].load());
-        head_.store(h + m);
+        const u64 h = head_.load_relaxed();
+        for (u64 i = 0; i < m; ++i)
+          my.buf[i].store_relaxed(cells_[(h + i) % cap].load_relaxed());
+        head_.store_relaxed(h + m);
       }
-      size_.store(n - m);
-      for (u64 i = m; i < k; ++i) my.buf[i].store(kNoItem);
+      size_.store_relaxed(n - m);
+      for (u64 i = m; i < k; ++i) my.buf[i].store_relaxed(kNoItem);
     }
     return distribute_pop(my);
   }
@@ -284,8 +298,8 @@ class FunnelStack {
     const u32 st =
         P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
     if (st == kStRetry) {
-      my.result_state.store(kStEmpty);
-      my.location.store(loc(d));
+      my.result_state.store_relaxed(kStEmpty);
+      my.location.store_release(loc(d));
       return std::nullopt;
     }
     adapt(my, true);
@@ -295,20 +309,21 @@ class FunnelStack {
   }
 
   void distribute_push(Rec& my, u32 state) {
-    for (Rec* c : my.children) c->result_state.store(state);
+    for (Rec* c : my.children) c->result_state.store_release(state);
   }
 
   /// my.buf holds tree_size items/sentinels; slice them out to the child
-  /// subtrees in capture order and return my own (buf[0]).
+  /// subtrees in capture order and return my own (buf[0]). Each child's
+  /// slice is published by the release store of its result_state.
   u64 distribute_pop(Rec& my) {
     u64 off = 1;
     for (Rec* c : my.children) {
-      const u64 csize = tree_size(c->sum.load());
-      for (u64 i = 0; i < csize; ++i) c->buf[i].store(my.buf[off + i].load());
-      c->result_state.store(kStPopped);
+      const u64 csize = tree_size(c->sum.load_relaxed());
+      for (u64 i = 0; i < csize; ++i) c->buf[i].store_relaxed(my.buf[off + i].load_relaxed());
+      c->result_state.store_release(kStPopped);
       off += csize;
     }
-    return my.buf[0].load();
+    return my.buf[0].load_relaxed();
   }
 
   u32 effective_width(Rec& my, u32 d) const {
@@ -332,10 +347,13 @@ class FunnelStack {
   McsLock<P> lock_;
   typename P::template Shared<u64> head_{0}; // consumed count (FIFO end)
   typename P::template Shared<u64> tail_{0}; // produced count
-  typename P::template Shared<u64> size_{0}; // tail - head, for 1-read empty
+  /// tail - head, for 1-read empty. On its own line: the lock-free empty()
+  /// probes must not be invalidated by unrelated head_/tail_ churn.
+  alignas(kCacheLineBytes) typename P::template Shared<u64> size_{0};
   std::vector<typename P::template Shared<u64>> cells_;
   std::vector<std::unique_ptr<Rec>> records_;
-  std::vector<std::unique_ptr<Slot[]>> layers_;
+  /// Layer slots are swapped by unrelated processors — one per cache line.
+  std::vector<std::unique_ptr<Padded<Slot>[]>> layers_;
 };
 
 } // namespace fpq

@@ -6,6 +6,11 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/assert.hpp"
 
 namespace fpq {
@@ -16,11 +21,46 @@ struct NativeCtx {
   ProcId id = ~0u;
   u32 nprocs = 0;
   Xorshift rng{0};
+  u32 pause_streak = 0;
 };
 
 thread_local NativeCtx g_ctx;
 
+NativePlatform::SpinConfig g_spin_config{};
+bool g_pin_threads = false;
+
+#if defined(__linux__)
+void pin_to_cpu(std::thread& t, u32 cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % std::thread::hardware_concurrency(), &set);
+  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+}
+#endif
+
 } // namespace
+
+void NativePlatform::set_spin_config(const SpinConfig& cfg) { g_spin_config = cfg; }
+
+const NativePlatform::SpinConfig& NativePlatform::spin_config() { return g_spin_config; }
+
+void NativePlatform::set_pin_threads(bool pin) { g_pin_threads = pin; }
+
+void NativePlatform::escalate() {
+  if (g_spin_config.escalation == SpinEscalation::kSleep)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(g_spin_config.sleep_ns));
+  else
+    std::this_thread::yield();
+}
+
+void NativePlatform::pause() {
+  if (++g_ctx.pause_streak <= g_spin_config.relax_spins) {
+    relax();
+    return;
+  }
+  g_ctx.pause_streak = 0;
+  escalate();
+}
 
 void NativePlatform::run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 seed) {
   FPQ_ASSERT(nprocs >= 1);
@@ -33,6 +73,7 @@ void NativePlatform::run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 
     g_ctx.id = id;
     g_ctx.nprocs = nprocs;
     g_ctx.rng = Xorshift(seed * 0x100000001b3ull + id);
+    g_ctx.pause_streak = 0;
     ready.fetch_add(1, std::memory_order_acq_rel);
     while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
     try {
@@ -46,7 +87,12 @@ void NativePlatform::run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 
 
   std::vector<std::thread> threads;
   threads.reserve(nprocs);
-  for (u32 i = 0; i < nprocs; ++i) threads.emplace_back(worker, i);
+  for (u32 i = 0; i < nprocs; ++i) {
+    threads.emplace_back(worker, i);
+#if defined(__linux__)
+    if (g_pin_threads) pin_to_cpu(threads.back(), i);
+#endif
+  }
   while (ready.load(std::memory_order_acquire) != nprocs) std::this_thread::yield();
   go.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
@@ -73,12 +119,11 @@ void NativePlatform::delay(Cycles c) {
   for (Cycles i = 0; i < c; ++i) sink = sink + i;
 }
 
-void NativePlatform::pause() { std::this_thread::yield(); }
-
 void NativePlatform::adopt(ProcId id, u32 nprocs, u64 seed) {
   g_ctx.id = id;
   g_ctx.nprocs = nprocs;
   g_ctx.rng = Xorshift(seed * 0x100000001b3ull + id);
+  g_ctx.pause_streak = 0;
 }
 
 void NativePlatform::release() { g_ctx.id = ~0u; }

@@ -1,6 +1,13 @@
 // NativePlatform: the Platform policy over std::atomic and std::thread.
 // Used for correctness testing under real concurrency and for the native
-// component benchmarks; the paper-scale experiments use SimPlatform.
+// benchmarks (bench/native_pq, bench/native_components); the paper-scale
+// experiments use SimPlatform.
+//
+// This backend gives the memory-ordering contract its teeth: MemOrder
+// annotations map 1:1 onto std::atomic orders. Building with
+// -DFPQ_FORCE_SEQ_CST collapses every annotation back to seq_cst — the
+// escape hatch the benchmarks use to measure what the explicit orders buy
+// (and a bisection aid if a relaxation is ever suspect).
 #pragma once
 
 #include <atomic>
@@ -12,6 +19,39 @@
 
 namespace fpq {
 
+/// MemOrder -> std::memory_order. With FPQ_FORCE_SEQ_CST everything is
+/// sequentially consistent, annotations included.
+constexpr std::memory_order to_std_order(MemOrder o) {
+#ifdef FPQ_FORCE_SEQ_CST
+  (void)o;
+  return std::memory_order_seq_cst;
+#else
+  switch (o) {
+    case MemOrder::kRelaxed: return std::memory_order_relaxed;
+    case MemOrder::kAcquire: return std::memory_order_acquire;
+    case MemOrder::kRelease: return std::memory_order_release;
+    case MemOrder::kAcqRel: return std::memory_order_acq_rel;
+    case MemOrder::kSeqCst: return std::memory_order_seq_cst;
+  }
+  return std::memory_order_seq_cst;
+#endif
+}
+
+/// CAS failure orders may not be release-flavored; clamp to the legal load
+/// order so callers can pass the success order's natural weakening.
+constexpr std::memory_order to_std_failure_order(MemOrder o) {
+#ifdef FPQ_FORCE_SEQ_CST
+  (void)o;
+  return std::memory_order_seq_cst;
+#else
+  switch (o) {
+    case MemOrder::kRelease: return std::memory_order_relaxed;
+    case MemOrder::kAcqRel: return std::memory_order_acquire;
+    default: return to_std_order(o);
+  }
+#endif
+}
+
 template <SharedWord T>
 class NativeShared {
  public:
@@ -21,15 +61,32 @@ class NativeShared {
   NativeShared& operator=(const NativeShared&) = delete;
 
   T load() const { return v_.load(std::memory_order_seq_cst); }
+  T load_acquire() const { return v_.load(to_std_order(MemOrder::kAcquire)); }
+  T load_relaxed() const { return v_.load(to_std_order(MemOrder::kRelaxed)); }
+
   void store(T v) { v_.store(v, std::memory_order_seq_cst); }
-  T exchange(T nv) { return v_.exchange(nv, std::memory_order_seq_cst); }
+  void store_release(T v) { v_.store(v, to_std_order(MemOrder::kRelease)); }
+  void store_relaxed(T v) { v_.store(v, to_std_order(MemOrder::kRelaxed)); }
+
+  T exchange(T nv, MemOrder o = MemOrder::kSeqCst) { return v_.exchange(nv, to_std_order(o)); }
+
   bool compare_exchange(T& expected, T desired) {
     return v_.compare_exchange_strong(expected, desired, std::memory_order_seq_cst);
   }
-  T fetch_add(T d)
+  bool compare_exchange(T& expected, T desired, MemOrder success, MemOrder failure) {
+    return v_.compare_exchange_strong(expected, desired, to_std_order(success),
+                                      to_std_failure_order(failure));
+  }
+
+  T fetch_add(T d, MemOrder o = MemOrder::kSeqCst)
     requires std::integral<T>
   {
-    return v_.fetch_add(d, std::memory_order_seq_cst);
+    return v_.fetch_add(d, to_std_order(o));
+  }
+  T fetch_sub(T d, MemOrder o = MemOrder::kSeqCst)
+    requires std::integral<T>
+  {
+    return v_.fetch_sub(d, to_std_order(o));
   }
 
  private:
@@ -42,9 +99,29 @@ struct NativePlatform {
 
   static constexpr bool kSimulated = false;
 
+  /// Contention policy for spin loops (pause/spin_until). A spinner relaxes
+  /// the core for `relax_spins` consecutive iterations, then escalates —
+  /// yielding the OS thread (the right call on oversubscribed machines,
+  /// where the lock holder needs the core) or briefly sleeping ("park", the
+  /// polite choice when threads <= cores and latency matters less than
+  /// power). Process-wide; set before starting a run.
+  enum class SpinEscalation : u8 { kYield, kSleep };
+  struct SpinConfig {
+    u32 relax_spins = 64;
+    SpinEscalation escalation = SpinEscalation::kYield;
+    /// Park length for kSleep, nanoseconds.
+    u64 sleep_ns = 50 * 1000;
+  };
+  static void set_spin_config(const SpinConfig& cfg);
+  static const SpinConfig& spin_config();
+
   /// Runs fn(ProcId) on `nprocs` OS threads, started together behind a
-  /// barrier. Rethrows the first exception a worker threw.
+  /// barrier. Rethrows the first exception a worker threw. When
+  /// set_pin_threads(true) was called, worker i is pinned to hardware CPU
+  /// (i mod hardware_concurrency) — stabilizes benchmark numbers on
+  /// multi-socket boxes; pointless (but harmless) on one core.
   static void run(u32 nprocs, const std::function<void(ProcId)>& fn, u64 seed = 1);
+  static void set_pin_threads(bool pin);
 
   static ProcId self();
   static u32 nprocs();
@@ -52,26 +129,51 @@ struct NativePlatform {
   static Cycles now();
   /// Local work: an abstract-work spin of `c` iterations.
   static void delay(Cycles c);
-  /// Spin hint. On oversubscribed machines forward progress of the lock
-  /// holder matters more than latency, so this yields the OS thread.
+
+  /// One polite spin iteration: the cpu's pause/yield instruction. Never
+  /// gives up the OS thread.
+  static void relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+  /// Spin hint with escalation: cpu-relax for the first relax_spins calls
+  /// in a row, then yield/park once and start over. Spin loops that know
+  /// their own iteration count should prefer spin_until.
   static void pause();
+
   static u64 rnd(u64 bound);
   static bool flip();
 
   /// Binds the calling thread to a processor id without run() — for
-  /// embedding in external thread pools (e.g. google-benchmark's
-  /// ->Threads(n) workers). Pair with release().
+  /// embedding in external thread pools. Pair with release().
   static void adopt(ProcId id, u32 nprocs, u64 seed = 1);
   static void release();
 
+  /// Acquire-spins on `w` until pred holds. Relaxes for the configured
+  /// budget, then escalates (yield/park) between probes.
   template <SharedWord T, class Pred>
   static T spin_until(const Shared<T>& w, Pred pred) {
+    const SpinConfig& cfg = spin_config();
+    u32 spins = 0;
     for (;;) {
-      T v = w.load();
+      T v = w.load_acquire();
       if (pred(v)) return v;
-      pause();
+      if (++spins <= cfg.relax_spins)
+        relax();
+      else
+        escalate();
     }
   }
+
+ private:
+  /// Give up the core once, per the configured escalation.
+  static void escalate();
 };
 
 static_assert(Platform<NativePlatform>);

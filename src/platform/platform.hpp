@@ -9,28 +9,58 @@
 // A Platform P provides:
 //
 //   P::Shared<T>   — a single shared word (T trivially copyable, <= 8 bytes,
-//                    equality comparable) with:
-//                      T    load() const;
-//                      void store(T);
-//                      T    exchange(T);
-//                      bool compare_exchange(T& expected, T desired);
-//                      T    fetch_add(T)      (integral T only)
+//                    equality comparable) with the explicitly-ordered API
+//                    below.
 //   P::run(nprocs, fn, seed)  — execute fn(ProcId) on nprocs processors.
 //   P::self() / P::nprocs()   — processor identity within a run.
 //   P::now()                  — monotone per-processor clock.
 //   P::delay(cycles)          — local work, no memory traffic.
-//   P::pause()                — spin-loop politeness hint.
-//   P::spin_until(word, pred) — repeatedly read `word` until pred(value);
-//                               the simulator parks the fiber until the
-//                               word is written, like spinning on a cached
-//                               line; native backends spin-and-pause.
+//   P::relax()                — one spin-loop iteration's politeness hint
+//                               (cpu pause instruction; never yields).
+//   P::pause()                — spin-loop hint that may escalate: after a
+//                               processor has paused many times in a row the
+//                               native backend yields the OS thread.
+//   P::spin_until(word, pred) — repeatedly read `word` (acquire) until
+//                               pred(value); the simulator parks the fiber
+//                               until the word is written, like spinning on
+//                               a cached line; the native backend relaxes,
+//                               then escalates per its spin policy.
 //   P::rnd(bound) / P::flip() — deterministic per-processor randomness.
 //   P::kSimulated             — constexpr bool.
 //
+// ## Memory-ordering contract
+//
 // Shared data may only be reached through P::Shared<T>; everything else an
 // algorithm touches must be processor-local or immutable after
-// construction (Core Guidelines CP.2/CP.3). All Shared operations are
-// sequentially consistent.
+// construction (Core Guidelines CP.2/CP.3).
+//
+// Shared<T> exposes C++ memory orders explicitly; the unsuffixed
+// operations remain sequentially consistent, so un-annotated code keeps
+// its pre-contract meaning:
+//
+//   T    load()                    — seq_cst
+//   T    load_acquire()
+//   T    load_relaxed()
+//   void store(T)                  — seq_cst
+//   void store_release(T)
+//   void store_relaxed(T)
+//   T    exchange(T, MemOrder = kSeqCst)
+//   bool compare_exchange(T& expected, T desired)          — seq_cst
+//   bool compare_exchange(T& expected, T desired,
+//                         MemOrder success, MemOrder failure)
+//   T    fetch_add(T, MemOrder = kSeqCst)   (integral T only)
+//   T    fetch_sub(T, MemOrder = kSeqCst)   (integral T only)
+//
+// The orders are *annotations of intent with native-backend teeth*: the
+// native backend maps them 1:1 onto std::atomic orders (unless built with
+// -DFPQ_FORCE_SEQ_CST, the before/after measurement escape hatch), while
+// the simulator executes every access sequentially consistently — its
+// fibers interleave at access granularity under a global clock, so relaxed
+// annotations cannot weaken it. An algorithm is therefore correct iff it
+// is correct on the *native* mapping; the TSan gate (`ctest -L native` on
+// a -DFPQ_SANITIZE=thread build) and tests/test_memory_order.cpp are the
+// checks that the annotations establish the happens-before edges each
+// protocol needs. DESIGN.md §8 records the per-primitive contract.
 #pragma once
 
 #include <concepts>
@@ -40,14 +70,35 @@
 
 namespace fpq {
 
+/// Memory-order annotation vocabulary shared by every Platform. Mirrors
+/// std::memory_order; kept as our own enum so the simulator can accept the
+/// annotations without depending on <atomic>.
+enum class MemOrder : u8 {
+  kRelaxed,
+  kAcquire,
+  kRelease,
+  kAcqRel,
+  kSeqCst,
+};
+
 template <class T>
 concept SharedWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
                      std::equality_comparable<T>;
 
 template <class P>
-concept Platform = requires {
+concept Platform = requires(typename P::template Shared<u64>& w, u64& e) {
   { P::kSimulated } -> std::convertible_to<bool>;
-  typename P::template Shared<u64>;
+  { w.load() } -> std::same_as<u64>;
+  { w.load_acquire() } -> std::same_as<u64>;
+  { w.load_relaxed() } -> std::same_as<u64>;
+  w.store(u64{});
+  w.store_release(u64{});
+  w.store_relaxed(u64{});
+  { w.exchange(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
+  { w.compare_exchange(e, u64{}) } -> std::same_as<bool>;
+  { w.compare_exchange(e, u64{}, MemOrder::kAcqRel, MemOrder::kRelaxed) } -> std::same_as<bool>;
+  { w.fetch_add(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
+  { w.fetch_sub(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
 };
 
 } // namespace fpq

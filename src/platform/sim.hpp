@@ -15,6 +15,12 @@
 
 namespace fpq {
 
+// The simulator executes every Shared access sequentially consistently:
+// fibers interleave at access granularity under a single global clock, so
+// there is nothing to reorder. The MemOrder annotations of the platform
+// contract are accepted (and ignored) so algorithm code carries one set of
+// annotations for both backends; the native std::atomic mapping is where
+// they take effect, and the TSan gate is what validates them.
 template <SharedWord T>
 class SimShared {
  public:
@@ -28,13 +34,17 @@ class SimShared {
     touch(sim::AccessKind::Read);
     return v;
   }
+  T load_acquire() const { return load(); }
+  T load_relaxed() const { return load(); }
 
   void store(T v) {
     v_ = v;
     touch(sim::AccessKind::Write);
   }
+  void store_release(T v) { store(v); }
+  void store_relaxed(T v) { store(v); }
 
-  T exchange(T nv) {
+  T exchange(T nv, MemOrder = MemOrder::kSeqCst) {
     T old = v_;
     v_ = nv;
     touch(sim::AccessKind::Rmw);
@@ -51,12 +61,24 @@ class SimShared {
     touch(sim::AccessKind::Rmw);
     return ok;
   }
+  bool compare_exchange(T& expected, T desired, MemOrder, MemOrder) {
+    return compare_exchange(expected, desired);
+  }
 
-  T fetch_add(T d)
+  T fetch_add(T d, MemOrder = MemOrder::kSeqCst)
     requires std::integral<T>
   {
     T old = v_;
     v_ = static_cast<T>(old + d);
+    touch(sim::AccessKind::Rmw);
+    return old;
+  }
+
+  T fetch_sub(T d, MemOrder = MemOrder::kSeqCst)
+    requires std::integral<T>
+  {
+    T old = v_;
+    v_ = static_cast<T>(old - d);
     touch(sim::AccessKind::Rmw);
     return old;
   }
@@ -96,6 +118,9 @@ struct SimPlatform {
   static Cycles now() { return engine().now(); }
   static void delay(Cycles c) { engine().delay(c); }
   static void pause() { engine().pause(); }
+  /// One spin iteration of local work; a simulated processor cannot yield
+  /// the (simulated) core, so relax == a cycle of delay.
+  static void relax() { engine().delay(1); }
   static u64 rnd(u64 bound) { return engine().rng().below(bound); }
   static bool flip() { return engine().rng().flip(); }
 

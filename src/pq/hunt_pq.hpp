@@ -48,18 +48,18 @@ class HuntPq {
     const u64 mytag = tag_of(P::self());
 
     heap_lock_.acquire();
-    u64 n = size_.load();
+    u64 n = size_.load_relaxed();
     if (n >= capacity_) {
       heap_lock_.release();
       return false;
     }
     ++n;
-    size_.store(n);
+    size_.store_relaxed(n);
     u64 i = bit_reversed(n);
     nodes_[i].lock.acquire();
     heap_lock_.release();
-    nodes_[i].entry.store(packed);
-    nodes_[i].tag.store(mytag);
+    nodes_[i].entry.store_relaxed(packed);
+    nodes_[i].tag.store_relaxed(mytag);
     nodes_[i].lock.release();
 
     // Climb toward the root until the item reaches heap order. The item can
@@ -70,16 +70,16 @@ class HuntPq {
       const u64 par = i >> 1;
       nodes_[par].lock.acquire();
       nodes_[i].lock.acquire();
-      const u64 tpar = nodes_[par].tag.load();
-      const u64 ti = nodes_[i].tag.load();
+      const u64 tpar = nodes_[par].tag.load_relaxed();
+      const u64 ti = nodes_[i].tag.load_relaxed();
       u64 next = i;
       if (ti == mytag) {
         if (tpar == kAvail) {
-          if (nodes_[i].entry.load() < nodes_[par].entry.load()) {
+          if (nodes_[i].entry.load_relaxed() < nodes_[par].entry.load_relaxed()) {
             swap_nodes(par, i);
             next = par;
           } else {
-            nodes_[i].tag.store(kAvail);
+            nodes_[i].tag.store_relaxed(kAvail);
             next = 0; // settled
           }
         }
@@ -106,7 +106,7 @@ class HuntPq {
     }
     if (i == 1) {
       nodes_[1].lock.acquire();
-      if (nodes_[1].tag.load() == mytag) nodes_[1].tag.store(kAvail);
+      if (nodes_[1].tag.load_relaxed() == mytag) nodes_[1].tag.store_relaxed(kAvail);
       nodes_[1].lock.release();
     }
     return true;
@@ -114,16 +114,16 @@ class HuntPq {
 
   std::optional<Entry> delete_min() {
     heap_lock_.acquire();
-    const u64 n = size_.load();
+    const u64 n = size_.load_relaxed();
     if (n == 0) {
       heap_lock_.release();
       return std::nullopt;
     }
-    size_.store(n - 1);
+    size_.store_relaxed(n - 1);
     const u64 last = bit_reversed(n);
     nodes_[last].lock.acquire();
-    const u64 moved = nodes_[last].entry.load();
-    nodes_[last].tag.store(kEmpty);
+    const u64 moved = nodes_[last].entry.load_relaxed();
+    nodes_[last].tag.store_relaxed(kEmpty);
     nodes_[last].lock.release();
 
     if (last == 1) {
@@ -134,15 +134,15 @@ class HuntPq {
 
     nodes_[1].lock.acquire();
     heap_lock_.release();
-    if (nodes_[1].tag.load() == kEmpty) {
+    if (nodes_[1].tag.load_relaxed() == kEmpty) {
       // A racing deleter consumed the root via the "last element" path
       // before we locked it; the item we extracted stands in for the root.
       nodes_[1].lock.release();
       return unpack_entry(moved);
     }
-    const u64 min = nodes_[1].entry.load();
-    nodes_[1].entry.store(moved);
-    nodes_[1].tag.store(kAvail);
+    const u64 min = nodes_[1].entry.load_relaxed();
+    nodes_[1].entry.store_relaxed(moved);
+    nodes_[1].tag.store_relaxed(kAvail);
 
     sift_down();
     return unpack_entry(min);
@@ -170,8 +170,8 @@ class HuntPq {
   bool heap_invariant_holds() const {
     for (u64 i = 2; i < nodes_.size(); ++i) {
       const u64 pi = i >> 1;
-      if (nodes_[pi].tag.load() == kEmpty || nodes_[i].tag.load() == kEmpty) continue;
-      if (nodes_[pi].entry.load() > nodes_[i].entry.load()) return false;
+      if (nodes_[pi].tag.load_acquire() == kEmpty || nodes_[i].tag.load_acquire() == kEmpty) continue;
+      if (nodes_[pi].entry.load_relaxed() > nodes_[i].entry.load_relaxed()) return false;
     }
     return true;
   }
@@ -181,19 +181,24 @@ class HuntPq {
   static constexpr u64 kAvail = 1;
   static u64 tag_of(ProcId p) { return static_cast<u64>(p) + 2; }
 
-  struct Node {
+  // Ordering contract: tag and entry are only touched while holding the
+  // node's lock (size_ likewise under heap_lock_), so every access is
+  // relaxed — the TTAS/MCS edges order them. Nodes are cache-line-aligned:
+  // hand-over-hand traversals of adjacent heap slots would otherwise
+  // false-share their locks.
+  struct alignas(kCacheLineBytes) Node {
     TtasLock<P> lock;
     typename P::template Shared<u64> tag{kEmpty};
     typename P::template Shared<u64> entry{0};
   };
 
   void swap_nodes(u64 a, u64 b) {
-    const u64 ea = nodes_[a].entry.load();
-    const u64 ta = nodes_[a].tag.load();
-    nodes_[a].entry.store(nodes_[b].entry.load());
-    nodes_[a].tag.store(nodes_[b].tag.load());
-    nodes_[b].entry.store(ea);
-    nodes_[b].tag.store(ta);
+    const u64 ea = nodes_[a].entry.load_relaxed();
+    const u64 ta = nodes_[a].tag.load_relaxed();
+    nodes_[a].entry.store_relaxed(nodes_[b].entry.load_relaxed());
+    nodes_[a].tag.store_relaxed(nodes_[b].tag.load_relaxed());
+    nodes_[b].entry.store_relaxed(ea);
+    nodes_[b].tag.store_relaxed(ta);
   }
 
   /// Sift the root item down to heap order. Called holding nodes_[1].lock;
@@ -208,14 +213,14 @@ class HuntPq {
       u64 c = 0;
       if (r < nodes_.size()) {
         nodes_[r].lock.acquire();
-        const bool le = nodes_[l].tag.load() == kEmpty;
-        const bool re = nodes_[r].tag.load() == kEmpty;
+        const bool le = nodes_[l].tag.load_relaxed() == kEmpty;
+        const bool re = nodes_[r].tag.load_relaxed() == kEmpty;
         if (le && re) {
           nodes_[r].lock.release();
           nodes_[l].lock.release();
           break;
         }
-        if (!le && (re || nodes_[l].entry.load() <= nodes_[r].entry.load())) {
+        if (!le && (re || nodes_[l].entry.load_relaxed() <= nodes_[r].entry.load_relaxed())) {
           nodes_[r].lock.release();
           c = l;
         } else {
@@ -223,13 +228,13 @@ class HuntPq {
           c = r;
         }
       } else {
-        if (nodes_[l].tag.load() == kEmpty) {
+        if (nodes_[l].tag.load_relaxed() == kEmpty) {
           nodes_[l].lock.release();
           break;
         }
         c = l;
       }
-      if (nodes_[c].entry.load() < nodes_[i].entry.load()) {
+      if (nodes_[c].entry.load_relaxed() < nodes_[i].entry.load_relaxed()) {
         swap_nodes(i, c);
         nodes_[i].lock.release();
         i = c;

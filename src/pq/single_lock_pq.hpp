@@ -26,23 +26,27 @@ class SingleLockPq {
     params.validate();
   }
 
+  // Ordering contract: heap_ and size_ are only touched while holding the
+  // MCS lock, whose acquire/release edges order them — every access inside
+  // the critical section is relaxed. On the native backend this turns the
+  // whole sift loop from fenced stores into plain cached writes.
   bool insert(Prio prio, Item item) {
     FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
     const u64 packed = pack_entry({prio, item});
     McsGuard<P> g(lock_);
-    u64 n = size_.load();
+    u64 n = size_.load_relaxed();
     if (n + 1 >= heap_.size()) return false;
     ++n;
-    size_.store(n);
+    size_.store_relaxed(n);
     // Sift up.
     u64 i = n;
-    heap_[i].store(packed);
+    heap_[i].store_relaxed(packed);
     while (i > 1) {
       const u64 par = i >> 1;
-      const u64 pv = heap_[par].load();
+      const u64 pv = heap_[par].load_relaxed();
       if (pv <= packed) break;
-      heap_[i].store(pv);
-      heap_[par].store(packed);
+      heap_[i].store_relaxed(pv);
+      heap_[par].store_relaxed(packed);
       i = par;
     }
     return true;
@@ -50,29 +54,29 @@ class SingleLockPq {
 
   std::optional<Entry> delete_min() {
     McsGuard<P> g(lock_);
-    const u64 n = size_.load();
+    const u64 n = size_.load_relaxed();
     if (n == 0) return std::nullopt;
-    const u64 min = heap_[1].load();
-    const u64 last = heap_[n].load();
-    size_.store(n - 1);
+    const u64 min = heap_[1].load_relaxed();
+    const u64 last = heap_[n].load_relaxed();
+    size_.store_relaxed(n - 1);
     // Sift the previous last element down from the root.
     u64 i = 1;
-    heap_[1].store(last);
+    heap_[1].store_relaxed(last);
     const u64 limit = n - 1;
     for (;;) {
       u64 child = i << 1;
       if (child > limit) break;
-      u64 cv = heap_[child].load();
+      u64 cv = heap_[child].load_relaxed();
       if (child + 1 <= limit) {
-        const u64 rv = heap_[child + 1].load();
+        const u64 rv = heap_[child + 1].load_relaxed();
         if (rv < cv) {
           cv = rv;
           ++child;
         }
       }
       if (cv >= last) break;
-      heap_[i].store(cv);
-      heap_[child].store(last);
+      heap_[i].store_relaxed(cv);
+      heap_[child].store_relaxed(last);
       i = child;
     }
     return unpack_entry(min);
@@ -82,9 +86,9 @@ class SingleLockPq {
 
   /// Test hook: heap invariant check; only meaningful at quiescence.
   bool heap_invariant_holds() const {
-    const u64 n = size_.load();
+    const u64 n = size_.load_acquire();
     for (u64 i = 2; i <= n; ++i)
-      if (heap_[i >> 1].load() > heap_[i].load()) return false;
+      if (heap_[i >> 1].load_relaxed() > heap_[i].load_relaxed()) return false;
     return true;
   }
 

@@ -50,9 +50,9 @@ class SkipListPq {
     Xorshift rng(params.seed);
     head_ = std::make_unique<Link>(-1, kMaxLevel);
     tail_ = std::make_unique<Link>(static_cast<i64>(npriorities_), kMaxLevel);
-    head_->threaded.store(1);
-    tail_->threaded.store(1);
-    for (u32 l = 0; l < kMaxLevel; ++l) head_->next[l].store(tail_.get());
+    head_->threaded.store_relaxed(1);
+    tail_->threaded.store_relaxed(1);
+    for (u32 l = 0; l < kMaxLevel; ++l) head_->next[l].store_relaxed(tail_.get());
     links_.reserve(npriorities_);
     for (u32 p = 0; p < npriorities_; ++p) {
       u32 level = 1;
@@ -71,24 +71,24 @@ class SkipListPq {
     // Check *after* inserting (as the paper does): any unthread that made
     // the flag 0 happened after our item was placed, so either we re-thread
     // here or the delete bin drains the item.
-    if (link->threaded.load() == 0) thread_link(link);
+    if (link->threaded.load_acquire() == 0) thread_link(link);
     return true;
   }
 
   std::optional<Entry> delete_min() {
     Backoff<P> backoff;
     for (;;) {
-      Link* d = del_link_.load();
+      Link* d = del_link_.load_acquire();
       if (d != nullptr) {
         if (auto e = d->bin->remove()) return Entry{static_cast<Prio>(d->key), *e};
       }
       if (del_lock_.try_acquire()) {
-        Link* first = head_->next[0].load();
+        Link* first = head_->next[0].load_acquire();
         if (first == tail_.get()) {
           del_lock_.release();
           // Close the window where an insert landed in the delete bin while
           // we were looking at an empty list.
-          Link* d2 = del_link_.load();
+          Link* d2 = del_link_.load_acquire();
           if (d2 != nullptr) {
             if (auto e = d2->bin->remove())
               return Entry{static_cast<Prio>(d2->key), *e};
@@ -96,15 +96,15 @@ class SkipListPq {
           return std::nullopt;
         }
         unthread(first);
-        Link* old = del_link_.load();
-        del_link_.store(first);
+        Link* old = del_link_.load_relaxed(); // only this del_lock_ holder writes it
+        del_link_.store_release(first);
         del_lock_.release();
         // Rescue the outgoing delete bin. An insert that raced with the old
         // link's unthread saw threaded==1 (so it did not re-thread) — but
         // its bin-insert necessarily preceded that unthread, so by now every
         // such item is visible here. Re-threading the link makes them
         // reachable again. (The paper's Fig. 12 pseudo-code loses these.)
-        if (old != nullptr && old->threaded.load() == 0 && !old->bin->empty())
+        if (old != nullptr && old->threaded.load_acquire() == 0 && !old->bin->empty())
           thread_link(old);
       } else {
         // Another deleter is advancing the bin; try again shortly.
@@ -116,17 +116,24 @@ class SkipListPq {
   u32 npriorities() const { return npriorities_; }
 
   /// Test hooks.
-  bool is_threaded(Prio p) const { return links_[p]->threaded.load() == 1; }
+  bool is_threaded(Prio p) const { return links_[p]->threaded.load_acquire() == 1; }
   u32 level_of(Prio p) const { return links_[p]->level; }
   Prio first_threaded() const {
-    Link* f = head_->next[0].load();
+    Link* f = head_->next[0].load_acquire();
     return static_cast<Prio>(f->key); // == npriorities() when list empty
   }
 
  private:
+  // Ordering contract: next[] pointers and the threaded flag are written
+  // under their level locks / slock but read lock-free by find_pred and
+  // insert, so every splice that must be visible to a lock-free reader is
+  // a release store (pred->next, threaded) paired with the readers'
+  // acquire loads; accesses that only ever race with holders of the same
+  // lock are relaxed. del_link_ is written only by the del_lock_ holder
+  // (release) and read lock-free (acquire).
   struct Link {
     Link(i64 k, u32 lv) : key(k), level(lv) {
-      for (auto& n : next) n.store(nullptr);
+      for (auto& n : next) n.store_relaxed(nullptr);
     }
     const i64 key;
     const u32 level;
@@ -143,7 +150,7 @@ class SkipListPq {
     Link* cur = head_.get();
     for (i32 l = kMaxLevel - 1; l >= static_cast<i32>(lv); --l) {
       for (;;) {
-        Link* nxt = cur->next[l].load();
+        Link* nxt = cur->next[l].load_acquire();
         if (nxt != nullptr && nxt->key < key)
           cur = nxt;
         else
@@ -155,26 +162,26 @@ class SkipListPq {
 
   void thread_link(Link* x) {
     TtasGuard<P> sg(x->slock);
-    if (x->threaded.load() == 1) return; // someone beat us to it
+    if (x->threaded.load_relaxed() == 1) return; // slock orders this; someone beat us
     Backoff<P> backoff;
     for (u32 lv = 0; lv < x->level; ++lv) {
       for (;;) {
         Link* pred = find_pred(lv, x->key);
         pred->level_locks[lv].acquire();
-        Link* succ = pred->next[lv].load();
+        Link* succ = pred->next[lv].load_relaxed(); // writers hold this same level lock
         // A predecessor found by the search is spliced at this level; the
         // flag check only excludes one being unthreaded right now.
-        const bool pred_live = (pred == head_.get() || pred->threaded.load() == 1);
+        const bool pred_live = (pred == head_.get() || pred->threaded.load_acquire() == 1);
         if (pred_live && succ != nullptr && succ->key > x->key) {
-          x->next[lv].store(succ);
-          pred->next[lv].store(x);
+          x->next[lv].store_relaxed(succ);
+          pred->next[lv].store_release(x); // publishes x->next[lv] to lock-free readers
           pred->level_locks[lv].release();
           break;
         }
         pred->level_locks[lv].release();
         backoff.spin();
       }
-      if (lv == 0) x->threaded.store(1); // logically present once reachable
+      if (lv == 0) x->threaded.store_release(1); // publishes the level-0 splice
       backoff.reset();
     }
   }
@@ -182,16 +189,16 @@ class SkipListPq {
   /// Caller must hold del_lock_ (single unthreader at a time).
   void unthread(Link* x) {
     TtasGuard<P> sg(x->slock); // waits out an in-flight thread of x
-    FPQ_ASSERT_MSG(x->threaded.load() == 1, "unthreading an unthreaded link");
-    x->threaded.store(0); // threaders using x as predecessor now re-validate
+    FPQ_ASSERT_MSG(x->threaded.load_relaxed() == 1, "unthreading an unthreaded link");
+    x->threaded.store_release(0); // threaders using x as predecessor now re-validate
     Backoff<P> backoff;
     for (i32 lv = static_cast<i32>(x->level) - 1; lv >= 0; --lv) {
       for (;;) {
         Link* pred = find_pred(static_cast<u32>(lv), x->key);
         pred->level_locks[lv].acquire();
         x->level_locks[lv].acquire();
-        if (pred->next[lv].load() == x) {
-          pred->next[lv].store(x->next[lv].load());
+        if (pred->next[lv].load_relaxed() == x) { // writers hold this same level lock
+          pred->next[lv].store_release(x->next[lv].load_relaxed());
           x->level_locks[lv].release();
           pred->level_locks[lv].release();
           break;

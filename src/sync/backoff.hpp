@@ -1,5 +1,9 @@
 // Randomized truncated exponential backoff for retry loops (CAS retry,
-// TTAS acquisition). Purely processor-local: delays through P::delay.
+// TTAS acquisition). Purely processor-local. On the simulator the wait is
+// modeled local work (P::delay — charged cycles, no memory traffic); on
+// the native backend it is a cpu-relax loop (P::relax), so a backing-off
+// processor holds no fences and, unlike P::pause, never yields the OS
+// thread mid-backoff — the window doubling is the politeness mechanism.
 #pragma once
 
 #include "common/types.hpp"
@@ -14,7 +18,12 @@ class Backoff {
 
   /// Waits a random slice of the current window, then doubles the window.
   void spin() {
-    P::delay(1 + P::rnd(cur_));
+    const Cycles n = 1 + P::rnd(cur_);
+    if constexpr (P::kSimulated) {
+      P::delay(n);
+    } else {
+      for (Cycles i = 0; i < n; ++i) P::relax();
+    }
     cur_ = cur_ * 2 <= cap_ ? cur_ * 2 : cap_;
   }
 

@@ -25,36 +25,44 @@ class McsLock {
   /// `maxprocs` is the highest processor count this lock may see.
   explicit McsLock(u32 maxprocs) : nodes_(maxprocs) {}
 
+  // Ordering contract: the tail exchange is the lock-acquisition edge
+  // (acquire pairs with a releaser's release on tail or on the locked
+  // flag); the locked-flag handoff is release -> acquire-spin; everything
+  // inside a critical section may then be relaxed.
   void acquire() {
     QNode& me = node(P::self());
-    me.next.store(nullptr);
-    QNode* pred = tail_.exchange(&me);
+    me.next.store_relaxed(nullptr);
+    QNode* pred = tail_.exchange(&me, MemOrder::kAcqRel);
     if (pred != nullptr) {
-      me.locked.store(1);
-      pred->next.store(&me);
-      P::spin_until(me.locked, [](u32 v) { return v == 0; });
+      // locked=1 is published by the release store of our link; the
+      // releaser's acquire load of next therefore sees it before storing 0.
+      me.locked.store_relaxed(1);
+      pred->next.store_release(&me);
+      P::spin_until(me.locked, [](u32 v) { return v == 0; }); // acquire spin
     }
   }
 
   void release() {
     QNode& me = node(P::self());
-    QNode* succ = me.next.load();
+    QNode* succ = me.next.load_acquire();
     if (succ == nullptr) {
       QNode* expected = &me;
-      if (tail_.compare_exchange(expected, nullptr)) return; // no one waiting
+      // Release so the next tail exchanger acquires our critical section.
+      if (tail_.compare_exchange(expected, nullptr, MemOrder::kRelease, MemOrder::kRelaxed))
+        return; // no one waiting
       // A successor is in the middle of enqueueing; wait for its link.
       succ = P::spin_until(me.next, [](QNode* n) { return n != nullptr; });
     }
-    succ->locked.store(0);
+    succ->locked.store_release(0); // hand off: publishes the critical section
   }
 
   /// Single attempt: succeeds only when the lock is free (used by the
   /// SkipList delete path, paper Fig. 12's `acquired`).
   bool try_acquire() {
     QNode& me = node(P::self());
-    me.next.store(nullptr);
+    me.next.store_relaxed(nullptr);
     QNode* expected = nullptr;
-    return tail_.compare_exchange(expected, &me);
+    return tail_.compare_exchange(expected, &me, MemOrder::kAcqRel, MemOrder::kRelaxed);
   }
 
  private:

@@ -16,20 +16,23 @@ class TtasLock {
  public:
   TtasLock() = default;
 
+  // Ordering contract: the winning exchange is the acquire edge (acq_rel
+  // pairs with release()'s store); the test spins are mere hints and read
+  // relaxed/acquire without synchronizing anything themselves.
   void acquire() {
     Backoff<P> backoff;
     for (;;) {
       P::spin_until(flag_, [](u32 v) { return v == 0; });
-      if (flag_.exchange(1) == 0) return;
+      if (flag_.exchange(1, MemOrder::kAcqRel) == 0) return;
       backoff.spin();
     }
   }
 
-  void release() { flag_.store(0); }
+  void release() { flag_.store_release(0); }
 
   bool try_acquire() {
-    if (flag_.load() != 0) return false;
-    return flag_.exchange(1) == 0;
+    if (flag_.load_relaxed() != 0) return false;
+    return flag_.exchange(1, MemOrder::kAcqRel) == 0;
   }
 
  private:
