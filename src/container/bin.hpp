@@ -24,10 +24,17 @@ class LockedBin {
     FPQ_ASSERT(capacity > 0);
   }
 
-  // Ordering contract: size_ and elems_ are only written inside the MCS
-  // critical section, whose acquire/release edges order them — the
-  // accesses themselves are relaxed. The lock-free empty() probe reads
-  // acquire so a true "non-empty" answer is backed by a visible item.
+  // Ordering contract: elems_ is only written inside the MCS critical
+  // section, whose acquire/release edges order it for other lock holders —
+  // those accesses are relaxed. size_ is *published* with a release store
+  // so the lock-free empty() acquire probe pairs with it: a "non-empty"
+  // answer is therefore backed by visible items (the release store carries
+  // the elems_ writes sequenced before it). An "empty" answer is only a
+  // hint — empty() participates in store-buffering shapes with the probing
+  // thread's surrounding accesses, which release/acquire cannot forbid.
+  // Callers whose protocol needs a decisive answer must use empty_locked(),
+  // whose critical section is totally ordered against every completed
+  // insert()/remove() (SkipListPq's rescue path relies on exactly that).
 
   /// bin-insert. Returns false when the bin is full.
   bool insert(Item e) {
@@ -35,7 +42,7 @@ class LockedBin {
     const u64 n = size_.load_relaxed();
     if (n >= elems_.size()) return false;
     elems_[n].store_relaxed(e);
-    size_.store_relaxed(n + 1);
+    size_.store_release(n + 1); // publishes elems_[n] to the empty() probe
     return true;
   }
 
@@ -46,13 +53,23 @@ class LockedBin {
     const u64 n = size_.load_relaxed();
     if (n == 0) return std::nullopt;
     Item e = elems_[n - 1].load_relaxed();
-    size_.store_relaxed(n - 1);
+    size_.store_release(n - 1);
     return e;
   }
 
   /// bin-empty: a single read of the size word, no lock (paper Fig. 1 and
   /// the LinearFunnels discussion in §3.2 both rely on this being cheap).
+  /// "Non-empty" is authoritative (see the contract above); "empty" is a
+  /// scan hint only.
   bool empty() const { return size_.load_acquire() == 0; }
+
+  /// bin-empty under the lock: ordered against every completed insert and
+  /// remove by the lock's critical-section total order, at the cost of a
+  /// lock acquisition. Use when the answer arbitrates a racy protocol.
+  bool empty_locked() {
+    McsGuard<P> g(lock_);
+    return size_.load_relaxed() == 0;
+  }
 
   u32 capacity() const { return static_cast<u32>(elems_.size()); }
 

@@ -84,11 +84,17 @@ class ReactiveCounter {
     u32 calm = 0; // cheap funnel ops in a row
   };
 
-  // Ordering contract: the announce fetch_add is acq_rel (acquires the
-  // switcher's mode publication), the retire fetch_sub is release (its
-  // effects must be visible to the switcher's drain, whose acquire spin on
-  // active_[m]==0 is the matching edge); value_ itself is protected by the
-  // MCS lock or by that drain handshake, so its accesses are relaxed.
+  // Ordering contract: announce/recheck vs. CAS/drain is a store-buffering
+  // shape — an op writes active_[m] then reads mode_ while the switcher
+  // writes mode_ then reads active_[m] — which release/acquire cannot
+  // forbid (both sides could read the stale value, letting an op mutate
+  // representation m concurrently with the switcher's unlocked value
+  // transfer). The four accesses that decide the handshake are therefore
+  // seq_cst: the announce fetch_add, the mode recheck, the switcher's mode
+  // CAS, and the drain's deciding probe of active_[m]. The retire
+  // fetch_sub stays release — it pairs with the drain probe to publish the
+  // op's effects before the transfer. value_ itself is protected by the
+  // MCS lock or by this handshake, so its accesses are relaxed.
   i64 apply(i64 delta) {
     for (;;) {
       const u32 m = mode_.load_acquire();
@@ -96,8 +102,8 @@ class ReactiveCounter {
         P::pause();
         continue;
       }
-      active_[m].fetch_add(1, MemOrder::kAcqRel);
-      if (mode_.load_acquire() != m) {
+      active_[m].fetch_add(1); // seq_cst announce (see contract above)
+      if (mode_.load() != m) { // seq_cst recheck
         active_[m].fetch_sub(1, MemOrder::kRelease);
         continue;
       }
@@ -139,11 +145,18 @@ class ReactiveCounter {
 
   void switch_mode(u32 from, u32 to) {
     u32 expected = from;
-    if (!mode_.compare_exchange(expected, kTransition, MemOrder::kAcqRel, MemOrder::kRelaxed))
+    if (!mode_.compare_exchange(expected, kTransition)) // seq_cst CAS
       return; // lost the race
     // Drain the outgoing representation: every announced op retires (their
-    // release retirements pair with this acquire spin).
-    P::spin_until(active_[from], [](u64 a) { return a == 0; });
+    // release retirements pair with these probes). The acquire spin is only
+    // the cheap wait; a seq_cst re-read decides that the drain is complete,
+    // closing the store-buffering race with the announce/recheck (an op
+    // whose seq_cst announce precedes this probe has either retired or will
+    // observe kTransition at its seq_cst recheck and retry).
+    for (;;) {
+      P::spin_until(active_[from], [](u64 a) { return a == 0; });
+      if (active_[from].load() == 0) break; // seq_cst deciding probe
+    }
     if (to == kFunnel)
       funnel_.set_value(value_.load_relaxed());
     else

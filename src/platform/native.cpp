@@ -1,6 +1,8 @@
 #include "platform/native.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -31,10 +33,23 @@ bool g_pin_threads = false;
 
 #if defined(__linux__)
 void pin_to_cpu(std::thread& t, u32 cpu) {
+  const unsigned ncpus = std::thread::hardware_concurrency();
+  if (ncpus == 0) return; // topology unknown; pinning is best-effort
   cpu_set_t set;
   CPU_ZERO(&set);
-  CPU_SET(cpu % std::thread::hardware_concurrency(), &set);
-  pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+  CPU_SET(cpu % ncpus, &set);
+  const int rc = pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+  if (rc != 0) {
+    // Common in cgroup-restricted containers where the target cpu is not
+    // in our cpuset; the run is still correct, just unpinned, so warn
+    // (once) instead of failing the benchmark.
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true))
+      std::fprintf(stderr,
+                   "fpq: pinning worker to cpu %u failed (error %d); "
+                   "continuing unpinned\n",
+                   cpu % ncpus, rc);
+  }
 }
 #endif
 

@@ -68,9 +68,15 @@ class SkipListPq {
     FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
     Link* link = links_[prio].get();
     if (!link->bin->insert(item)) return false;
-    // Check *after* inserting (as the paper does): any unthread that made
-    // the flag 0 happened after our item was placed, so either we re-thread
-    // here or the delete bin drains the item.
+    // Check *after* inserting (as the paper does). This flag check races
+    // with delete_min's unthread + rescue of the outgoing delete bin — a
+    // store-buffering shape (we write the bin then read `threaded`; the
+    // rescuer writes `threaded` then reads the bin) that release/acquire
+    // alone cannot close. The bin's lock is the arbiter: the rescuer
+    // re-checks emptiness with empty_locked(), so either our bin-insert's
+    // critical section precedes that probe (the rescuer sees our item and
+    // re-threads) or follows it — and then the lock hand-off publishes the
+    // rescuer-side threaded==0 store to this load, so *we* re-thread.
     if (link->threaded.load_acquire() == 0) thread_link(link);
     return true;
   }
@@ -100,11 +106,18 @@ class SkipListPq {
         del_link_.store_release(first);
         del_lock_.release();
         // Rescue the outgoing delete bin. An insert that raced with the old
-        // link's unthread saw threaded==1 (so it did not re-thread) — but
-        // its bin-insert necessarily preceded that unthread, so by now every
-        // such item is visible here. Re-threading the link makes them
-        // reachable again. (The paper's Fig. 12 pseudo-code loses these.)
-        if (old != nullptr && old->threaded.load_acquire() == 0 && !old->bin->empty())
+        // link's unthread may have read threaded==1 and skipped re-threading.
+        // The emptiness probe must therefore be decisive, and a lock-free
+        // acquire read is not (store-buffering with the inserter's
+        // post-insert flag check). empty_locked() arbitrates via the bin
+        // lock's critical-section order: either the racing bin-insert
+        // precedes our probe's section (we see the item and re-thread) or it
+        // follows it, in which case the lock hand-off publishes the old
+        // link's threaded==0 (which happened-before this probe via the
+        // del_lock_ chain) to the inserter, who re-threads in insert().
+        // (The paper's Fig. 12 pseudo-code loses these items.)
+        if (old != nullptr && old->threaded.load_acquire() == 0 &&
+            !old->bin->empty_locked())
           thread_link(old);
       } else {
         // Another deleter is advancing the bin; try again shortly.

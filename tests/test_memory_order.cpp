@@ -16,8 +16,10 @@
 #include <set>
 #include <vector>
 
+#include "container/reactive_counter.hpp"
 #include "funnel/counter.hpp"
 #include "platform/native.hpp"
+#include "pq/skiplist_pq.hpp"
 
 namespace fpq {
 namespace {
@@ -177,6 +179,92 @@ TEST(MemoryOrderLitmus, RelaxedFunnelCounterHammer) {
   EXPECT_EQ(c.read(),
             static_cast<i64>(incs.load()) - static_cast<i64>(effective.load()));
   EXPECT_GE(c.read(), 0);
+}
+
+// Regression for the reactive counter's announce/recheck vs. CAS/drain
+// handshake — a store-buffering shape whose deciding accesses must be
+// seq_cst (see the contract comment in reactive_counter.hpp). If either
+// side were weakened back to acq_rel, an op could mutate the outgoing
+// representation concurrently with the switcher's unlocked value transfer
+// and the final value would drift; under TSan that shows as a data race
+// on value_. Two tunings: one forces a deterministic MCS->funnel switch
+// on the first contended op, one sits at a borderline threshold so mode
+// ping-pongs while the hammer runs.
+TEST(MemoryOrderLitmus, ReactiveCounterSwitchStormConserves) {
+  constexpr u32 kThreads = 4;
+  constexpr u32 kPerThread = 1500;
+  const typename ReactiveCounter<NP>::Tuning tunings[] = {
+      {0, 1, 1u << 30},  // every MCS op "contended": forced up-switch
+      {3000, 1, 1},      // borderline 3us: switches both ways under load
+  };
+  for (const auto& tuning : tunings) {
+    ReactiveCounter<NP> c(kThreads, FunnelParams::for_procs(kThreads), 0, 0,
+                          tuning);
+    std::atomic<u64> incs{0}, effective{0};
+    NP::run(kThreads, [&](ProcId id) {
+      for (u32 i = 0; i < kPerThread; ++i) {
+        if ((i + id) % 3 != 0) {
+          c.fai();
+          incs.fetch_add(1);
+        } else {
+          const i64 before = c.bfad(0);
+          ASSERT_GE(before, 0);
+          if (before > 0) effective.fetch_add(1);
+        }
+      }
+    });
+    EXPECT_EQ(c.read(),
+              static_cast<i64>(incs.load()) - static_cast<i64>(effective.load()))
+        << "a mode switch raced an op and lost/duplicated updates";
+    EXPECT_GE(c.read(), 0);
+  }
+}
+
+// Regression for the skip-list insert-vs-rescue race: insert writes the
+// bin then reads `threaded`, while delete_min's rescue writes `threaded`
+// then probes the bin — store-buffering that is arbitrated by the bin's
+// lock (empty_locked), not by fence strength. Two priorities keep the
+// first link constantly unthreaded/re-threaded, so inserts land in bins
+// that are mid-unthread; a lost arbitration permanently strands an item
+// and the deleted count comes up short.
+TEST(MemoryOrderLitmus, SkipListRescueNeverStrandsItems) {
+  constexpr u32 kThreads = 4;
+  constexpr u32 kProducers = kThreads / 2;
+  constexpr u32 kPerProducer = 3000;
+  PqParams params{.npriorities = 2, .maxprocs = kThreads};
+  params.bin_capacity = kProducers * kPerProducer;
+  SkipListPq<NP> pq(params);
+  std::atomic<u32> producers_left{kProducers};
+  std::vector<std::vector<u64>> got(kThreads);
+  NP::run(kThreads, [&](ProcId id) {
+    if (id < kProducers) {
+      for (u32 i = 0; i < kPerProducer; ++i)
+        ASSERT_TRUE(pq.insert(i % 2, u64{id} * kPerProducer + i + 1));
+      producers_left.fetch_sub(1, std::memory_order_release);
+    } else {
+      for (;;) {
+        if (auto e = pq.delete_min()) {
+          got[id].push_back(e->item);
+        } else if (producers_left.load(std::memory_order_acquire) == 0) {
+          // Quiescent nullopt: producers are done and (modulo a peer's
+          // in-flight rescue, which that peer will drain itself) the
+          // queue is empty.
+          break;
+        } else {
+          NP::pause();
+        }
+      }
+    }
+  });
+  std::set<u64> uniq;
+  u64 total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    uniq.insert(v.begin(), v.end());
+  }
+  EXPECT_EQ(total, u64{kProducers} * kPerProducer)
+      << "an item was stranded in an unthreaded bin (or delivered twice)";
+  EXPECT_EQ(uniq.size(), u64{kProducers} * kPerProducer);
 }
 
 // Spin configuration knob: both escalation modes must make progress under
