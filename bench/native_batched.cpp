@@ -1,0 +1,76 @@
+// Batched-operation sweep on the NATIVE backend: the two funnel queues
+// (whose insert_batch/delete_min_batch aggregate natively — one structure
+// traversal per batch) swept over batch sizes {1, 4, 16, 64} crossed with
+// the thread-count list. Batch 1 goes through the same batch entry points,
+// so the comparison isolates aggregation itself, not call overhead.
+//
+// Each repetition builds a fresh queue with PqParams::max_batch sized to
+// the cell's batch, pre-fills it halfway, then has every thread run
+// insert_batch(b) + delete_min_batch(b) rounds until it has issued
+// ops_per_thread operations (each batched element counts as one
+// operation). Output: human table on stdout and the `fpq.native-bench.v1`
+// JSON (BENCH_native_batched.json by default) with per-result "batch"
+// fields — see bench_support/native_bench.hpp for the schema, including
+// the config.oversubscribed flag that marks runs whose thread counts
+// exceed the machine's cores.
+//
+//   native_batched --threads=1,2,4,8 --reps=5 --ops=100000
+//                  [--algos=FunnelTree,LinearFunnels]
+//                  [--out=BENCH_native_batched.json] [--pin] [--quick]
+#include <span>
+#include <vector>
+
+#include "bench_support/native_bench.hpp"
+#include "core/registry.hpp"
+#include "platform/native.hpp"
+
+using namespace fpq;
+
+namespace {
+
+constexpr u32 kPrios = 16;
+constexpr u32 kBatches[] = {1, 4, 16, 64};
+
+RepMeasurement run_rep(Algorithm algo, u32 batch, u32 nthreads, u64 ops_per_thread) {
+  PqParams params;
+  params.npriorities = kPrios;
+  params.maxprocs = nthreads;
+  params.bin_capacity = 1u << 16;
+  params.max_batch = batch;
+  auto pq = make_priority_queue<NativePlatform>(algo, params);
+  // Half-full steady state so delete_min rarely sees an empty queue.
+  NativePlatform::run(1, [&](ProcId) {
+    for (u32 i = 0; i < 256; ++i)
+      pq->insert(static_cast<Prio>(NativePlatform::rnd(kPrios)), i);
+  });
+  const u64 rounds = std::max<u64>(ops_per_thread / (2 * batch), 1);
+  const double secs = timed_parallel(nthreads, [&](ProcId) {
+    std::vector<Entry> in(batch), out(batch);
+    for (u64 r = 0; r < rounds; ++r) {
+      for (u32 i = 0; i < batch; ++i)
+        in[i] = Entry{static_cast<Prio>(NativePlatform::rnd(kPrios)), 7};
+      pq->insert_batch(std::span<const Entry>(in));
+      pq->delete_min_batch(std::span<Entry>(out));
+    }
+  });
+  return {secs, u64{nthreads} * rounds * 2 * batch};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  NativeBenchOptions opt;
+  opt.out = "BENCH_native_batched.json";
+  if (!opt.parse(argc, argv)) return 2;
+  NativeBenchSuite suite("native_batched", opt);
+  for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
+    const std::string name{to_string(algo)};
+    if (!suite.selected(name)) continue;
+    for (u32 batch : kBatches) {
+      suite.run_batched_case("PqBatched", name, batch, [algo, batch](u32 nt, u64 ops) {
+        return run_rep(algo, batch, nt, ops);
+      });
+    }
+  }
+  return suite.finish();
+}

@@ -69,9 +69,25 @@ bool NativeBenchOptions::parse(int argc, char** argv) {
   return true;
 }
 
+namespace {
+
+bool sweep_oversubscribed(const std::vector<u32>& threads) {
+  const u32 hc = std::thread::hardware_concurrency();
+  if (hc == 0) return false; // unknown topology: don't guess
+  return std::any_of(threads.begin(), threads.end(), [hc](u32 t) { return t > hc; });
+}
+
+} // namespace
+
 NativeBenchSuite::NativeBenchSuite(std::string suite, const NativeBenchOptions& opt)
     : suite_(std::move(suite)), opt_(opt) {
   NativePlatform::set_pin_threads(opt_.pin);
+  if (sweep_oversubscribed(opt_.threads))
+    std::fprintf(stderr,
+                 "warning: thread sweep exceeds hardware_concurrency=%u — "
+                 "throughput will measure scheduler multiplexing, not parallel "
+                 "speedup (results flagged \"oversubscribed\")\n",
+                 std::thread::hardware_concurrency());
 }
 
 bool NativeBenchSuite::selected(const std::string& name) const {
@@ -81,6 +97,12 @@ bool NativeBenchSuite::selected(const std::string& name) const {
 
 void NativeBenchSuite::run_case(
     const std::string& bench, const std::string& algo,
+    const std::function<RepMeasurement(u32, u64)>& rep) {
+  run_batched_case(bench, algo, 0, rep);
+}
+
+void NativeBenchSuite::run_batched_case(
+    const std::string& bench, const std::string& algo, u32 batch,
     const std::function<RepMeasurement(u32, u64)>& rep) {
   for (u32 nt : opt_.threads) {
     rep(nt, std::max<u64>(opt_.ops / 4, 1)); // warmup, discarded
@@ -95,8 +117,9 @@ void NativeBenchSuite::run_case(
     res.bench = bench;
     res.algo = algo;
     res.threads = nt;
+    res.batch = batch;
     res.total_ops = total_ops;
-    res.ops_per_sec = summarize(ops_per_sec);
+    res.ops_per_sec = summarize_nonnegative(ops_per_sec);
     results_.push_back(res);
     std::fprintf(stderr, "  %-16s %-14s t=%-3u  %12.0f ops/s  [%0.f, %0.f]\n",
                  bench.c_str(), algo.c_str(), nt, res.ops_per_sec.mean,
@@ -145,6 +168,7 @@ int NativeBenchSuite::finish() {
   w.field("reps", opt_.reps);
   w.field("pin", opt_.pin);
   w.field("quick", opt_.quick);
+  w.field("oversubscribed", sweep_oversubscribed(opt_.threads));
   w.end_object();
   w.key("results").begin_array();
   for (const auto& r : results_) {
@@ -152,6 +176,7 @@ int NativeBenchSuite::finish() {
     w.field("bench", r.bench);
     w.field("algo", r.algo);
     w.field("threads", r.threads);
+    if (r.batch > 0) w.field("batch", r.batch);
     w.field("reps", r.ops_per_sec.n);
     w.field("total_ops", r.total_ops);
     w.key("ops_per_sec").begin_object();

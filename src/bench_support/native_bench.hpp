@@ -12,17 +12,22 @@
 // Schema (one document per binary invocation):
 //   {
 //     "schema": "fpq.native-bench.v1",
-//     "suite": "native_pq" | "native_components",
+//     "suite": "native_pq" | "native_components" | "native_batched",
 //     "build": { "force_seq_cst": bool, "compiler": str,
 //                "hardware_concurrency": int, "sanitizer": str },
 //     "config": { "ops_per_thread": int, "reps": int, "pin": bool,
-//                 "quick": bool },
+//                 "quick": bool, "oversubscribed": bool },
 //     "results": [ { "bench": str, "algo": str, "threads": int,
+//                    "batch": int (present only for batched cells),
 //                    "reps": int, "total_ops": int,
 //                    "ops_per_sec": { "mean": num, "sd": num,
 //                                     "ci95_lo": num, "ci95_hi": num,
 //                                     "n": int } }, ... ]
 //   }
+// config.oversubscribed is true when the sweep's largest thread count
+// exceeds the machine's hardware_concurrency — throughput numbers from
+// such a run measure scheduler multiplexing, not parallel speedup.
+// ops_per_sec.ci95_lo is clamped at 0 (throughput is nonnegative).
 // Additive changes bump the minor suffix (v1 -> v2); consumers must
 // ignore unknown fields.
 #pragma once
@@ -54,11 +59,12 @@ struct NativeBenchOptions {
   bool parse(int argc, char** argv);
 };
 
-/// One (bench, algo, thread-count) cell.
+/// One (bench, algo, thread-count[, batch]) cell.
 struct NativeBenchResult {
   std::string bench;
   std::string algo;
   u32 threads = 0;
+  u32 batch = 0;         // 0 = point-op cell (no "batch" JSON field)
   u64 total_ops = 0;     // per repetition
   Summary ops_per_sec;   // over repetitions
 };
@@ -93,6 +99,13 @@ class NativeBenchSuite {
   /// inside `rep` via timed_parallel).
   void run_case(const std::string& bench, const std::string& algo,
                 const std::function<RepMeasurement(u32 nthreads, u64 ops_per_thread)>& rep);
+
+  /// run_case for a batched cell: `batch` is recorded in the result (and
+  /// emitted as the "batch" JSON field) but interpreting it is up to the
+  /// caller's rep function.
+  void run_batched_case(
+      const std::string& bench, const std::string& algo, u32 batch,
+      const std::function<RepMeasurement(u32 nthreads, u64 ops_per_thread)>& rep);
 
   /// Print the human table and write opt.out; returns a process exit code.
   int finish();

@@ -42,6 +42,12 @@ Summary summarize(const std::vector<double>& xs) {
   return s;
 }
 
+Summary summarize_nonnegative(const std::vector<double>& xs) {
+  Summary s = summarize(xs);
+  if (s.ci95_lo < 0.0) s.ci95_lo = 0.0;
+  return s;
+}
+
 OpStats& OpStats::operator+=(const OpStats& o) {
   inserts += o.inserts;
   deletes += o.deletes;

@@ -46,6 +46,12 @@ struct Summary {
 /// n == 1 returns a degenerate interval [x, x].
 Summary summarize(const std::vector<double>& xs);
 
+/// summarize() for metrics that cannot be negative (throughput, latency):
+/// clamps ci95_lo at 0, since Student's t intervals on tiny high-variance
+/// samples otherwise dip below the metric's domain (mean stays inside the
+/// interval because it is itself nonnegative).
+Summary summarize_nonnegative(const std::vector<double>& xs);
+
 /// "12.7" style thousands-of-cycles formatting used by the paper's Fig. 8.
 std::string fmt_kcycles(double cycles);
 

@@ -54,6 +54,27 @@ class CasCounter {
     }
   }
 
+  /// Batched FaI: k increments in one RMW. Returns k for interface parity
+  /// with the funnel counter's batch API.
+  u64 fai_batch(u64 k) {
+    v_.fetch_add(static_cast<i64>(k), MemOrder::kAcqRel);
+    return k;
+  }
+
+  /// Batched BFaD: applies k decrements clamped at `bound` in one CAS.
+  /// Returns how many of them observed a value above the bound.
+  u64 bfad_batch(i64 bound, u64 k) {
+    i64 old = v_.load_relaxed();
+    for (;;) {
+      const i64 room = old - bound;
+      const u64 eff = room > 0 ? (static_cast<u64>(room) < k ? static_cast<u64>(room) : k) : 0;
+      if (eff == 0) return 0;
+      if (v_.compare_exchange(old, old - static_cast<i64>(eff), MemOrder::kAcqRel,
+                              MemOrder::kRelaxed))
+        return eff;
+    }
+  }
+
   i64 read() const { return v_.load_acquire(); }
 
  private:
@@ -93,6 +114,24 @@ class McsCounter {
     i64 old = v_.load_relaxed();
     if (old < bound) v_.store_relaxed(old + 1);
     return old;
+  }
+
+  /// Batched FaI: k increments in one critical section.
+  u64 fai_batch(u64 k) {
+    McsGuard<P> g(lock_);
+    v_.store_relaxed(v_.load_relaxed() + static_cast<i64>(k));
+    return k;
+  }
+
+  /// Batched BFaD: k decrements clamped at `bound` in one critical
+  /// section; returns how many observed a value above the bound.
+  u64 bfad_batch(i64 bound, u64 k) {
+    McsGuard<P> g(lock_);
+    const i64 old = v_.load_relaxed();
+    const i64 room = old - bound;
+    const u64 eff = room > 0 ? (static_cast<u64>(room) < k ? static_cast<u64>(room) : k) : 0;
+    if (eff != 0) v_.store_relaxed(old - static_cast<i64>(eff));
+    return eff;
   }
 
   i64 read() const { return v_.load_acquire(); }

@@ -34,6 +34,10 @@ const std::vector<Algorithm>& all_algorithms() {
   return all;
 }
 
+bool has_native_batch(Algorithm a) {
+  return a == Algorithm::kLinearFunnels || a == Algorithm::kFunnelTree;
+}
+
 const std::vector<Algorithm>& scalable_algorithms() {
   static const std::vector<Algorithm> four = {
       Algorithm::kSimpleLinear,

@@ -41,6 +41,11 @@ const std::vector<Algorithm>& all_algorithms();
 /// experiments (Figs. 7-9).
 const std::vector<Algorithm>& scalable_algorithms();
 
+/// True for the queues whose insert_batch/delete_min_batch aggregate
+/// natively (one structure traversal per batch) rather than falling back
+/// to the per-entry loop in PqAdapter.
+bool has_native_batch(Algorithm a);
+
 template <Platform P>
 std::unique_ptr<IPriorityQueue<P>> make_priority_queue(Algorithm a,
                                                        const PqParams& params,

@@ -8,20 +8,31 @@
 //
 //   * combine     — same-direction partner: sums merge, the partner becomes
 //                   a child and waits; the winner ascends a layer.
-//   * eliminate   — opposite-direction partner (bounded mode): both trees
-//                   complete with a single read of the central value
-//                   (Fig. 10 lines 12-18).
+//   * eliminate   — opposite-direction partner (bounded mode): the captured
+//                   tree completes with a single read of the central value
+//                   (Fig. 10 lines 12-18), either cancelling the whole
+//                   capturing tree (equal sums) or a slice of the
+//                   capturer's *own* batch (partial elimination).
 //   * central     — after its attempts (or all layers) a processor CAS-es
 //                   the whole tree's sum into the central value, clamping
 //                   at the floor (lines 28-37).
 //   * distribute  — results flow down the combining tree (lines 39-47).
 //
-// Bounded operations do not commute, so bounded mode enforces the paper's
-// homogeneity rule (Appendix A): only equal-size trees of the same
-// operation combine, so a layer-d root always has |sum| = 2^d, and an
-// equal-but-opposite collision is a clean elimination whose interleaving
-// "inc, dec, inc, dec" gives every member of the dec tree the same return
-// value v and every member of the inc tree v-1.
+// Batching (Roh et al. '24 aggregation, replacing the paper's strict
+// homogeneity rule of Appendix A): a record carries a *batch* of k
+// same-direction operations, and bounded-mode trees of the same direction
+// combine at any sizes. That is sound because verdict distribution is
+// positional — a layer root that wins the central CAS at pre-value v hands
+// every participant the value the counter would have shown it under the
+// sequential order <my own batch, child 1's subtree, child 2's subtree,
+// ...> (advance() folds the floor/ceiling clamp into that sequence), which
+// no longer needs equal subtree sizes. Elimination keeps one constraint:
+// a captured opposite tree is always served *whole* (it is frozen and can
+// absorb exactly one verdict), so it must cancel either the capturer's
+// entire remaining sum (full elimination, both trees done) or a slice of
+// the capturer's own batch only (partial elimination — children's
+// positional verdicts are never split). Oversized opposite captures are
+// handed kStRetry, as incompatible trees always were.
 //
 // Configurations:
 //   plain   (bounded=false)           — classic combining-funnel
@@ -79,7 +90,7 @@ class FunnelCounter {
   /// unbounded ceiling (use bfai on ceiling-bounded counters).
   i64 fai() {
     FPQ_ASSERT_MSG(cfg_.ceiling == kNoCeiling, "use bfai on a ceiling-bounded counter");
-    return apply(+1);
+    return run(+1, 1).ticket;
   }
 
   /// Bounded fetch-and-increment with the configured ceiling: increments
@@ -87,7 +98,7 @@ class FunnelCounter {
   i64 bfai(i64 bound) {
     FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.ceiling,
                    "funnel counter is bound-specialized at construction");
-    return apply(+1);
+    return run(+1, 1).ticket;
   }
 
   /// Bounded fetch-and-decrement with the configured floor: decrements only
@@ -97,13 +108,31 @@ class FunnelCounter {
   i64 bfad(i64 bound) {
     FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.floor,
                    "funnel counter is bound-specialized at construction");
-    return apply(-1);
+    return run(-1, 1).ticket;
   }
 
   /// Plain fetch-and-add (plain configuration only; Fig. 5's baseline).
   i64 faa(i64 delta) {
     FPQ_ASSERT_MSG(!cfg_.bounded, "faa on a bounded funnel counter");
-    return apply(delta);
+    return run(delta, 1).ticket;
+  }
+
+  /// Batched fetch-and-increment: k increments in one funnel traversal.
+  /// Returns the number that moved the value (k unless ceiling-clamped).
+  u64 fai_batch(u64 k) {
+    FPQ_ASSERT_MSG(cfg_.ceiling == kNoCeiling, "use bfai on a ceiling-bounded counter");
+    FPQ_ASSERT(k >= 1);
+    return run(static_cast<i64>(k), k).successes;
+  }
+
+  /// Batched bounded fetch-and-decrement: k decrements in one traversal.
+  /// Returns how many of them observed a value above the floor — the
+  /// per-op successes a one-at-a-time bfad loop would have counted.
+  u64 bfad_batch(i64 bound, u64 k) {
+    FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.floor,
+                   "funnel counter is bound-specialized at construction");
+    FPQ_ASSERT(k >= 1);
+    return run(-static_cast<i64>(k), k).successes;
   }
 
   /// Unsynchronized read of the central value (quiescent use only).
@@ -122,7 +151,8 @@ class FunnelCounter {
   static constexpr u32 kStCount = 1;
   static constexpr u32 kStElim = 2;
   /// Handed to a captured partner we cannot serve (opposite trees with
-  /// elimination disabled): "you were not combined — rejoin the layer".
+  /// elimination disabled, or an opposite batch larger than our own
+  /// remaining slice): "you were not combined — rejoin the layer".
   /// The partner rejoins by storing its own location, so it stays
   /// uncapturable in between and no result can be clobbered.
   static constexpr u32 kStRetry = 3;
@@ -136,14 +166,30 @@ class FunnelCounter {
     // starts at the minimum: assume low load until collisions prove
     // otherwise (the first contended op raises it immediately).
     i64 own_delta = 0;
+    /// Own-batch ops not yet cancelled by a partial elimination; these are
+    /// the positions the tree's verdict base applies to first.
+    u64 own_rem = 0;
+    /// Own-batch ops already cancelled, and the central read their
+    /// elimination event was pinned to (the k=1 return value).
+    u64 own_elim = 0;
+    i64 own_elim_value = 0;
     i64 local_sum = 0;
     double adaption = 0.125;
     std::vector<Rec*> children;
   };
 
+  /// What one traversal yields: the pre-op value of the owner's first
+  /// operation (the single-op API's return) and, in bounded mode, how many
+  /// of the owner's k ops moved the value (the batch API's return).
+  struct Done {
+    i64 ticket = 0;
+    u64 successes = 0;
+  };
+
   using Slot = typename P::template Shared<Rec*>;
 
   static u64 loc(u32 depth) { return static_cast<u64>(depth) + 1; }
+  static bool same_sign(i64 a, i64 b) { return (a < 0) == (b < 0); }
 
   // Ordering contract of the collision protocol (shared with FunnelStack):
   //   * A record's payload (sum, result fields) is written relaxed and
@@ -157,10 +203,10 @@ class FunnelCounter {
   //     slot carries the owner's preceding location publication.
   //   * The central CAS is acq_rel: each winner acquires the edges of every
   //     earlier winner, which is all the ordering the tickets need.
-  i64 apply(i64 delta) {
+  Done run(i64 delta, u64 k) {
     Rec& my = *records_[P::self()];
     // Adaption (§3.1): a processor that has seen no collisions lately
-    // traverses zero combining layers — it applies its operation directly
+    // traverses zero combining layers — it applies its batch directly
     // and only enters the funnel when the direct CAS loses a race. This is
     // the "how many layers to traverse" half of the paper's adaption; the
     // layer-width half is effective_width().
@@ -170,12 +216,15 @@ class FunnelCounter {
         i64 val = central_.load_relaxed();
         const i64 nv_fast = clamp(val + delta);
         if (central_.compare_exchange(val, nv_fast, MemOrder::kAcqRel, MemOrder::kRelaxed))
-          return val;
+          return {val, static_cast<u64>(std::llabs(nv_fast - val))};
         fast_backoff.spin();
       }
       my.adaption = std::min(1.0, my.adaption * 2.0); // contention after all
     }
     my.own_delta = delta;
+    my.own_rem = k;
+    my.own_elim = 0;
+    my.own_elim_value = 0;
     my.local_sum = delta;
     my.children.clear();
     my.result_state.store_relaxed(kStEmpty);
@@ -206,7 +255,15 @@ class FunnelCounter {
             if (cfg_.bounded && cfg_.eliminate && qsum == -my.local_sum) {
               return eliminate_with(my, *q, qsum); // opposite equal trees
             }
-            if (!cfg_.bounded || qsum == my.local_sum) {
+            if (cfg_.bounded && cfg_.eliminate && !same_sign(qsum, my.local_sum) &&
+                static_cast<u64>(std::llabs(qsum)) <= my.own_rem) {
+              // Partial elimination: q's whole tree cancels a slice of my
+              // own batch; my children's pending positions are untouched.
+              partial_eliminate(my, *q, qsum);
+              my.location.store_release(loc(d)); // publishes the shrunk sum
+              continue;
+            }
+            if (!cfg_.bounded || same_sign(qsum, my.local_sum)) {
               // Combine: q's tree hangs under ours; ascend a layer.
               my.local_sum += qsum;
               my.sum.store_relaxed(my.local_sum);
@@ -217,10 +274,11 @@ class FunnelCounter {
               n = 0; // fresh attempt budget at the new layer (line 22)
               continue;
             }
-            // Incompatible trees (opposite signs, elimination off): we hold
-            // q captured and cannot serve it — tell it to rejoin the layer
-            // itself. Silently restoring q's location would race with q
-            // noticing the capture and waiting forever.
+            // Opposite trees we cannot serve (elimination off, or q is
+            // bigger than our own remaining batch): we hold q captured and
+            // cannot give it a whole-tree verdict — tell it to rejoin the
+            // layer itself. Silently restoring q's location would race
+            // with q noticing the capture and waiting forever.
             q->result_state.store_release(kStRetry);
             my.location.store_release(loc(d));
             continue;
@@ -249,7 +307,7 @@ class FunnelCounter {
       if (central_.compare_exchange(val, nv, MemOrder::kAcqRel, MemOrder::kRelaxed)) {
         adapt(my, collided);
         distribute(my, kStCount, val);
-        return val;
+        return {ticket_for(my, val), my.own_elim + own_successes(my, val)};
       }
       my.location.store_release(loc(d)); // lost the race; rejoin the funnel
       // Randomized backoff keeps failed central CAS-ers from convoying
@@ -265,7 +323,7 @@ class FunnelCounter {
   /// of the central value. Every member of the decrementing tree returns v
   /// (adjusted up off the floor), every member of the incrementing tree
   /// v-1 — the interleaving "inc, dec, inc, dec, ..." made explicit.
-  i64 eliminate_with(Rec& my, Rec& q, i64 qsum) {
+  Done eliminate_with(Rec& my, Rec& q, i64 qsum) {
     i64 v = central_.load_acquire();
     if (v == cfg_.floor) v += 1; // line 14: the leading op must be the inc
     const i64 my_base = my.local_sum < 0 ? v : v - 1;
@@ -274,13 +332,34 @@ class FunnelCounter {
     q.result_state.store_release(kStElim); // publishes the verdict payload
     adapt(my, true);
     distribute(my, kStElim, my_base);
-    return my_base;
+    // Every eliminated op is paired against an opposite one at a value off
+    // the floor, so all of my remaining own ops count as successes.
+    return {ticket_for(my, my_base), my.own_elim + my.own_rem};
+  }
+
+  /// Partial elimination: the captured opposite tree q (|q| <= my.own_rem)
+  /// cancels |q| ops of *my own* batch under the same single-central-read
+  /// argument as eliminate_with — q's side is served whole with a flat
+  /// verdict, my cancelled slice is accounted in own_elim, and my tree
+  /// (children untouched) rejoins the layer with the shrunk sum.
+  void partial_eliminate(Rec& my, Rec& q, i64 qsum) {
+    i64 v = central_.load_acquire();
+    if (v == cfg_.floor) v += 1;
+    q.result_value.store_relaxed(qsum < 0 ? v : v - 1);
+    q.result_state.store_release(kStElim);
+    const u64 served = static_cast<u64>(std::llabs(qsum));
+    my.own_rem -= served;
+    my.own_elim += served;
+    my.own_elim_value = my.local_sum < 0 ? v : v - 1;
+    my.local_sum += qsum;
+    my.sum.store_relaxed(my.local_sum);
+    adapt(my, true);
   }
 
   /// Waits for the capturer's verdict. Returns the operation's result, or
   /// nullopt if the capturer could not serve us (kStRetry) — in that case
   /// this rejoins layer `d` before returning, so the caller just continues.
-  std::optional<i64> finish_as_child(Rec& my, u32 d) {
+  std::optional<Done> finish_as_child(Rec& my, u32 d) {
     const u32 st = P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
     if (st == kStRetry) {
       my.result_state.store_relaxed(kStEmpty);
@@ -290,7 +369,9 @@ class FunnelCounter {
     const i64 base = my.result_value.load_relaxed(); // ordered by the acquire spin
     adapt(my, true); // being captured is a successful collision too
     distribute(my, st, base);
-    return base;
+    const u64 succ = st == kStElim ? my.own_elim + my.own_rem
+                                   : my.own_elim + own_successes(my, base);
+    return Done{ticket_for(my, base), succ};
   }
 
   /// Hands each child subtree its position in the operation sequence
@@ -317,9 +398,10 @@ class FunnelCounter {
       }
       return;
     }
-    // Bounded: homogeneous tree, all deltas share my.own_delta's sign.
+    // Bounded: homogeneous tree, all deltas share my.own_delta's sign. My
+    // own remaining batch occupies the first own_rem positions.
     const bool decrementing = my.own_delta < 0;
-    u64 steps = 1; // my own operation comes first
+    u64 steps = my.own_rem;
     for (Rec* c : my.children) {
       const u64 csize = static_cast<u64>(std::llabs(c->sum.load_relaxed()));
       c->result_value.store_relaxed(advance(base, steps, decrementing));
@@ -339,6 +421,27 @@ class FunnelCounter {
     }
     const i64 v = base + s;
     return cfg_.bounded && v > cfg_.ceiling ? cfg_.ceiling : v;
+  }
+
+  /// How many of my own remaining ops move the value when they execute
+  /// positionally first from pre-value `base`.
+  u64 own_successes(const Rec& my, i64 base) const {
+    if (!cfg_.bounded) return my.own_rem;
+    if (my.own_delta < 0) {
+      const i64 room = base - cfg_.floor;
+      const u64 r = room > 0 ? static_cast<u64>(room) : 0;
+      return r < my.own_rem ? r : my.own_rem;
+    }
+    if (cfg_.ceiling == kNoCeiling) return my.own_rem;
+    const i64 room = cfg_.ceiling - base;
+    const u64 r = room > 0 ? static_cast<u64>(room) : 0;
+    return r < my.own_rem ? r : my.own_rem;
+  }
+
+  /// The single-op API's return: the first own op's pre-value — positional
+  /// when any own op is still pending, else the pinned elimination read.
+  i64 ticket_for(const Rec& my, i64 base) const {
+    return my.own_rem > 0 ? base : my.own_elim_value;
   }
 
   i64 clamp(i64 v) const {

@@ -27,12 +27,19 @@ struct FunnelParams {
   /// by a factor in [adapt_min, 1] tracking observed collision success.
   bool adaptive = true;
   double adapt_min = 0.125;
+  /// Largest operation batch a single funnel record may carry (Roh et al.
+  /// '24 aggregation). Sizes the per-record item buffers of FunnelStack at
+  /// batch_limit << levels, so the default keeps the point-operation
+  /// footprint; queues that use insert_batch/delete_min_batch raise it via
+  /// PqParams::max_batch and chunk larger requests.
+  u32 batch_limit = 1;
 
   void validate() const {
     FPQ_ASSERT_MSG(levels <= kMaxFunnelLevels, "too many funnel levels");
     for (u32 d = 0; d < levels; ++d) FPQ_ASSERT_MSG(width[d] >= 1, "zero-width layer");
     FPQ_ASSERT_MSG(attempts >= 1, "attempts must be positive");
     FPQ_ASSERT_MSG(adapt_min > 0.0 && adapt_min <= 1.0, "adapt_min out of (0,1]");
+    FPQ_ASSERT_MSG(batch_limit >= 1, "batch_limit must be positive");
   }
 
   /// The parameter set used throughout the reproduction, scaled to the

@@ -6,14 +6,28 @@
 //     captured child subtree's items into its own buffer);
 //   * pop trees carry counts up and items back down (a parent serves each
 //     child subtree its slice of the popped batch);
-//   * a push tree colliding with an equal-size pop tree eliminates: the
-//     poppers consume the pushers' items without touching the central
-//     stack (this is what makes funnel bins win at high load);
-//   * surviving batches apply to a central array stack in one short TTAS
+//   * a push tree colliding with a pop tree eliminates: the poppers consume
+//     the pushers' items without touching the central stack (this is what
+//     makes funnel bins win at high load);
+//   * surviving batches apply to a central array stack in one short MCS
 //     critical section.
 //
-// The homogeneity rule (equal-size, same-operation trees only) is reused
-// from the bounded counter so elimination is always an exact 1:1 match.
+// Batching (Roh et al. '24 aggregation): a record carries a batch of k
+// same-direction operations (push_batch/pop_batch), and same-direction
+// trees combine at *any* sizes — the paper's equal-size homogeneity rule
+// is replaced by a buffer-capacity guard. Item/verdict routing is purely
+// positional: a tree root's buffer lays out its own batch first, then each
+// captured child subtree's slice in capture order, and a per-record
+// `mark` fill pointer (published with the record like `sum`) tracks how
+// much of the owner's slice eliminations have already consumed/filled, so
+// the remaining region is always one contiguous range. Elimination serves
+// a captured opposite tree *whole* (it is frozen and absorbs exactly one
+// verdict): either the capturer's entire remaining batch cancels (full
+// elimination) or the capture cancels a slice of the capturer's *own*
+// operations only (partial elimination) — a child subtree's slice is never
+// split between an elimination and the central verdict, which is what
+// keeps flat push verdicts (kStPushed/kStFull) truthful. Oversized
+// opposite captures get kStRetry.
 //
 // bin-empty is a single read of the central size word — the property
 // LinearFunnels' delete-min scan depends on (§3.2).
@@ -25,10 +39,10 @@
 // funnel but stores surviving batches in a central FIFO ring, so items of
 // equal priority that reach the central store come out in arrival order.
 //
-// Pops that find the central store short return nullopt. Items must not
-// equal kNoEntry (reserved as the "no item" sentinel). Pushing beyond
-// `capacity` fails the whole batch, which the queue surfaces as
-// insert() == false.
+// Pops that find the central store short return fewer items. Items must
+// not equal kNoEntry (reserved as the "no item" sentinel). Pushing beyond
+// `capacity` refuses the batch's non-eliminated remainder, which the queue
+// surfaces as insert() == false / a short insert_batch count.
 #pragma once
 
 #include <cstdlib>
@@ -70,27 +84,58 @@ class FunnelStack {
   }
 
   /// Pushes one item. Returns false when the central stack is full (the
-  /// entire combined batch is refused, so callers see a consistent signal).
+  /// remaining combined batch is refused, so callers see a consistent
+  /// signal).
   bool push(Item v) {
     FPQ_ASSERT_MSG(v != kNoEntry, "item value reserved as sentinel");
     Rec& my = *records_[P::self()];
     my.buf[0].store_relaxed(v); // published by the location release in apply()
-    const u64 r = apply(my, /*delta=*/+1);
-    return r != kFullResult;
+    return apply(my, /*delta=*/+1, 1) == 1;
   }
 
   /// Pops one item, or nullopt when the stack has none to give.
   std::optional<Item> pop() {
     Rec& my = *records_[P::self()];
-    const u64 r = apply(my, /*delta=*/-1);
-    if (r == kNoEntry) return std::nullopt;
+    apply(my, /*delta=*/-1, 1);
+    const u64 r = my.buf[0].load_relaxed();
+    if (r == kNoItem) return std::nullopt;
     return r;
+  }
+
+  /// Pushes items[0..n) as one aggregated batch (n <= max_batch()).
+  /// Returns the number accepted: eliminations always accept, and a full
+  /// central store refuses the batch's whole remainder.
+  u32 push_batch(const Item* items, u32 n) {
+    FPQ_ASSERT(n >= 1 && n <= max_batch());
+    Rec& my = *records_[P::self()];
+    for (u32 i = 0; i < n; ++i) {
+      FPQ_ASSERT_MSG(items[i] != kNoEntry, "item value reserved as sentinel");
+      my.buf[i].store_relaxed(items[i]);
+    }
+    return static_cast<u32>(apply(my, static_cast<i64>(n), n));
+  }
+
+  /// Pops up to k items (k <= max_batch()) into out[0..). Returns the
+  /// number obtained — short when the central store comes up short.
+  u32 pop_batch(Item* out, u32 k) {
+    FPQ_ASSERT(k >= 1 && k <= max_batch());
+    Rec& my = *records_[P::self()];
+    apply(my, -static_cast<i64>(k), k);
+    u32 got = 0;
+    for (u32 i = 0; i < k; ++i) {
+      const u64 v = my.buf[i].load_relaxed();
+      if (v != kNoItem) out[got++] = v;
+    }
+    return got;
   }
 
   /// One shared read (bin-empty of Fig. 1 / §3.2).
   bool empty() const { return size_.load_acquire() == 0; }
   u64 size() const { return size_.load_acquire(); }
   u32 capacity() const { return static_cast<u32>(cells_.size()); }
+  /// Largest batch one record (and so one push_batch/pop_batch call) may
+  /// carry; also bounds a combining tree's total batch.
+  u32 max_batch() const { return params_.batch_limit << params_.levels; }
   BinOrder order() const { return order_; }
 
  private:
@@ -98,23 +143,31 @@ class FunnelStack {
   static constexpr u32 kStEmpty = 0;
   static constexpr u32 kStPushed = 1;  // push batch applied (or eliminated)
   static constexpr u32 kStPopped = 2;  // items (or sentinels) are in my buf
-  static constexpr u32 kStFull = 3;    // push batch refused: stack full
+  static constexpr u32 kStFull = 3;    // remainder refused: stack full
   static constexpr u32 kStRetry = 4;   // capturer could not serve us; rejoin
   static constexpr u64 kNoItem = kNoEntry;
-  /// push() internal marker distinct from any item/sentinel result of pop.
-  static constexpr u64 kFullResult = kNoEntry - 1;
-  static constexpr u64 kPushedResult = kNoEntry - 2;
 
   struct alignas(kCacheLineBytes) Rec {
     explicit Rec(u32 batch) : buf(std::make_unique<typename P::template Shared<u64>[]>(batch)) {}
     typename P::template Shared<u64> location{kLocEmpty};
     typename P::template Shared<i64> sum{0};
+    /// Elimination fill pointer into the owner's slice, published with the
+    /// record (same location-release edge as sum). Push trees: own items
+    /// below mark have been consumed by poppers, so the tree's remaining
+    /// items are the contiguous range [mark, own_n + child_extra). Pop
+    /// trees: own demand below mark has been filled, so the unfilled
+    /// positions are [mark, own_n + child_extra).
+    typename P::template Shared<u64> mark{0};
     typename P::template Shared<u32> result_state{kStEmpty};
-    /// Subtree item buffer: push trees accumulate items here on the way up;
-    /// pop trees receive their slice here on the way down.
+    /// Subtree item buffer, laid out positionally: the owner's batch at
+    /// [0, own_n), then each captured child subtree's slice in capture
+    /// order. Push trees accumulate items here on the way up; pop trees
+    /// receive their slices here on the way down.
     std::unique_ptr<typename P::template Shared<u64>[]> buf;
     // Owner-local state; adaption starts low (assume no load until the
     // lock or layers say otherwise).
+    u64 own_n = 0;
+    u64 child_extra = 0; // children's items (push) / demand (pop) absorbed
     i64 local_sum = 0;
     double adaption = 0.125;
     std::vector<Rec*> children;
@@ -125,27 +178,30 @@ class FunnelStack {
 
   using Slot = typename P::template Shared<Rec*>;
 
-  u32 max_batch() const { return 1u << params_.levels; }
   static u64 loc(u32 depth) { return static_cast<u64>(depth) + 1; }
   static u64 tree_size(i64 sum) { return static_cast<u64>(std::llabs(sum)); }
+  static bool same_sign(i64 a, i64 b) { return (a < 0) == (b < 0); }
 
-  /// Runs the funnel for one push (+1) or pop (-1). Returns:
-  ///   pop  — the item, or kNoItem;
-  ///   push — kPushedResult on success, kFullResult when refused.
+  /// Runs the funnel for one batch of k pushes (delta=+k) or k pops
+  /// (delta=-k). Returns the number of own items accepted (pushes; pops
+  /// return 0 and leave items/sentinels in my.buf[0..k)).
   /// Ordering contract: identical to FunnelCounter::apply (payload
   /// published by the location release store, captured via acq_rel CAS;
   /// verdicts published by the result_state release store, received by the
-  /// acquire spin) — see counter.hpp. Item buffers ride those same edges.
-  u64 apply(Rec& my, i64 delta) {
+  /// acquire spin) — see counter.hpp. Item buffers and the mark fill
+  /// pointer ride those same edges.
+  u64 apply(Rec& my, i64 delta, u64 k) {
+    my.own_n = k;
+    my.child_extra = 0;
+    my.mark.store_relaxed(0);
     my.local_sum = delta;
     my.children.clear();
     // Adaption (§3.1): under low observed load, skip the funnel and apply
-    // the single-op batch directly under the central lock; a slow
-    // acquisition is the contention signal that re-opens the funnel.
+    // the batch directly under the central lock; a slow acquisition is the
+    // contention signal that re-opens the funnel.
     if (params_.adaptive && my.adaption <= params_.adapt_min * 1.01) {
       const Cycles t0 = P::now();
       const u64 r = central_apply(my);
-      // Budget scales with batch size 1; a slow acquisition means waiters.
       if (P::now() - t0 > kFastPathBudget)
         my.adaption = std::min(1.0, my.adaption * 1.5);
       return r;
@@ -153,7 +209,7 @@ class FunnelStack {
     my.result_state.store_relaxed(kStEmpty);
     my.sum.store_relaxed(delta);
     u32 d = 0;
-    my.location.store_release(loc(0)); // publishes sum/state/buf[0]
+    my.location.store_release(loc(0)); // publishes sum/mark/state/buf
     bool collided = false;
 
     for (;;) {
@@ -173,18 +229,26 @@ class FunnelStack {
           if (q->location.compare_exchange(qloc, kLocEmpty, MemOrder::kAcqRel,
                                            MemOrder::kRelaxed)) {
             const i64 qsum = q->sum.load_relaxed(); // ordered by the capture CAS
-            if (eliminate_ && qsum == -my.local_sum) return eliminate_with(my, *q);
-            if (qsum == my.local_sum) {
-              combine_with(my, *q);
+            if (eliminate_ && qsum == -my.local_sum) return eliminate_full(my, *q);
+            if (eliminate_ && !same_sign(qsum, my.local_sum) &&
+                tree_size(qsum) <= own_rem(my)) {
+              // Partial elimination: q's whole tree cancels against a
+              // slice of my own batch; my children's slices are untouched.
+              partial_eliminate(my, *q, qsum);
+              my.location.store_release(loc(d)); // publishes sum and mark
+              continue;
+            }
+            if (same_sign(qsum, my.local_sum) && combine_with(my, *q)) {
               collided = true;
               ++d;
               my.location.store_release(loc(d));
               n = 0;
               continue;
             }
-            // Opposite trees with elimination off: hand the captured
-            // partner an explicit retry (see counter.hpp for the race this
-            // avoids).
+            // Cannot serve the captured partner (opposite tree bigger than
+            // our own remaining batch, elimination off, or a same-direction
+            // tree that would overflow our buffer): hand it an explicit
+            // retry (see counter.hpp for the race this avoids).
             q->result_state.store_release(kStRetry);
             my.location.store_release(loc(d));
             continue;
@@ -211,46 +275,84 @@ class FunnelStack {
     }
   }
 
-  /// Merges the captured same-operation subtree into ours. q is frozen
-  /// (spinning on its result_state) and was acquired by the capture CAS,
-  /// so its sum and items are readable relaxed.
-  void combine_with(Rec& my, Rec& q) {
-    const u64 mine = tree_size(my.local_sum);
-    const u64 theirs = tree_size(q.sum.load_relaxed());
+  /// Own-batch operations not yet consumed/filled by eliminations.
+  u64 own_rem(const Rec& my) const { return my.own_n - my.mark.load_relaxed(); }
+
+  /// Merges the captured same-direction subtree into ours, provided the
+  /// total batch fits our buffer. q is frozen (spinning on its
+  /// result_state) and was acquired by the capture CAS, so its sum, mark
+  /// and items are readable relaxed.
+  bool combine_with(Rec& my, Rec& q) {
+    const u64 qrem = tree_size(q.sum.load_relaxed());
+    if (my.own_n + my.child_extra + qrem > max_batch()) return false;
     if (my.local_sum > 0) {
-      // Push tree: pull q's items up into our buffer.
-      FPQ_ASSERT(mine + theirs <= max_batch());
-      for (u64 i = 0; i < theirs; ++i) my.buf[mine + i].store_relaxed(q.buf[i].load_relaxed());
+      // Push tree: pull q's remaining items (one contiguous range starting
+      // at its mark) up into our children region.
+      const u64 qmark = q.mark.load_relaxed();
+      for (u64 i = 0; i < qrem; ++i)
+        my.buf[my.own_n + my.child_extra + i].store_relaxed(q.buf[qmark + i].load_relaxed());
     }
+    my.child_extra += qrem;
     my.local_sum += q.sum.load_relaxed();
     my.sum.store_relaxed(my.local_sum);
     my.children.push_back(&q);
+    return true;
   }
 
-  /// Equal-size push tree meets pop tree: the poppers consume the pushers'
-  /// items; nobody touches the central stack.
-  u64 eliminate_with(Rec& my, Rec& q) {
-    const u64 k = tree_size(my.local_sum);
-    Rec& pusher = my.local_sum > 0 ? my : q;
-    Rec& popper = my.local_sum > 0 ? q : my;
-    for (u64 i = 0; i < k; ++i) popper.buf[i].store_relaxed(pusher.buf[i].load_relaxed());
+  /// Opposite trees of equal remaining size: the poppers consume the
+  /// pushers' items; nobody touches the central stack. Serves both trees
+  /// entirely.
+  u64 eliminate_full(Rec& my, Rec& q) {
+    const u64 r = tree_size(my.local_sum);
+    const u64 mmark = my.mark.load_relaxed();
+    const u64 qmark = q.mark.load_relaxed();
     adapt(my, true);
-    if (&popper == &q) {
+    if (my.local_sum > 0) {
+      for (u64 i = 0; i < r; ++i)
+        q.buf[qmark + i].store_relaxed(my.buf[mmark + i].load_relaxed());
       q.result_state.store_release(kStPopped); // publishes q's buf slice
       distribute_push(my, kStPushed);
-      return kPushedResult;
+      return my.own_n;
     }
+    for (u64 i = 0; i < r; ++i)
+      my.buf[mmark + i].store_relaxed(q.buf[qmark + i].load_relaxed());
     q.result_state.store_release(kStPushed);
-    return distribute_pop(my);
+    distribute_pop(my);
+    return 0;
   }
 
-  /// Applies the whole tree's batch to the central store and distributes.
-  /// The store is a ring addressed by monotone produce/consume counters;
-  /// LIFO pops consume from the produce end, FIFO pops from the consume
-  /// end. The separate size word keeps bin-empty a single read.
+  /// Opposite capture no bigger than my own remaining batch: q's whole
+  /// tree is served against my own slice (items flow between the two
+  /// contiguous mark-ranges), my mark advances past the cancelled ops, and
+  /// my tree rejoins the layer with the shrunk sum.
+  void partial_eliminate(Rec& my, Rec& q, i64 qsum) {
+    const u64 qrem = tree_size(qsum);
+    const u64 mmark = my.mark.load_relaxed();
+    const u64 qmark = q.mark.load_relaxed();
+    if (my.local_sum > 0) {
+      for (u64 i = 0; i < qrem; ++i)
+        q.buf[qmark + i].store_relaxed(my.buf[mmark + i].load_relaxed());
+      q.result_state.store_release(kStPopped);
+    } else {
+      for (u64 i = 0; i < qrem; ++i)
+        my.buf[mmark + i].store_relaxed(q.buf[qmark + i].load_relaxed());
+      q.result_state.store_release(kStPushed);
+    }
+    my.mark.store_relaxed(mmark + qrem);
+    my.local_sum += qsum;
+    my.sum.store_relaxed(my.local_sum);
+    adapt(my, true);
+  }
+
+  /// Applies the tree's remaining batch to the central store and
+  /// distributes. The store is a ring addressed by monotone
+  /// produce/consume counters; LIFO pops consume from the produce end,
+  /// FIFO pops from the consume end. The separate size word keeps
+  /// bin-empty a single read.
   u64 central_apply(Rec& my) {
-    const u64 k = tree_size(my.local_sum);
+    const u64 r = tree_size(my.local_sum);
     const u64 cap = cells_.size();
+    const u64 mark = my.mark.load_relaxed();
     // cells_/head_/tail_/size_ are only touched inside the MCS critical
     // section; the lock's edges order them, so the accesses are relaxed.
     if (my.local_sum > 0) {
@@ -258,38 +360,41 @@ class FunnelStack {
       {
         McsGuard<P> g(lock_);
         const u64 n = size_.load_relaxed();
-        if (n + k > cap) {
+        if (n + r > cap) {
           full = true;
         } else {
           const u64 t = tail_.load_relaxed();
-          for (u64 i = 0; i < k; ++i)
-            cells_[(t + i) % cap].store_relaxed(my.buf[i].load_relaxed());
-          tail_.store_relaxed(t + k);
-          size_.store_relaxed(n + k);
+          for (u64 i = 0; i < r; ++i)
+            cells_[(t + i) % cap].store_relaxed(my.buf[mark + i].load_relaxed());
+          tail_.store_relaxed(t + r);
+          size_.store_relaxed(n + r);
         }
       }
       distribute_push(my, full ? kStFull : kStPushed);
-      return full ? kFullResult : kPushedResult;
+      // Accepted: everything on success; only the eliminated slice when
+      // the remainder was refused.
+      return full ? mark : my.own_n;
     }
     {
       McsGuard<P> g(lock_);
       const u64 n = size_.load_relaxed();
-      const u64 m = n < k ? n : k;
+      const u64 m = n < r ? n : r;
       if (order_ == BinOrder::kLifo) {
         const u64 t = tail_.load_relaxed();
         for (u64 i = 0; i < m; ++i)
-          my.buf[i].store_relaxed(cells_[(t - 1 - i) % cap].load_relaxed());
+          my.buf[mark + i].store_relaxed(cells_[(t - 1 - i) % cap].load_relaxed());
         tail_.store_relaxed(t - m);
       } else {
         const u64 h = head_.load_relaxed();
         for (u64 i = 0; i < m; ++i)
-          my.buf[i].store_relaxed(cells_[(h + i) % cap].load_relaxed());
+          my.buf[mark + i].store_relaxed(cells_[(h + i) % cap].load_relaxed());
         head_.store_relaxed(h + m);
       }
       size_.store_relaxed(n - m);
-      for (u64 i = m; i < k; ++i) my.buf[i].store_relaxed(kNoItem);
+      for (u64 i = m; i < r; ++i) my.buf[mark + i].store_relaxed(kNoItem);
     }
-    return distribute_pop(my);
+    distribute_pop(my);
+    return 0;
   }
 
   /// Waits for the capturer's verdict; nullopt means "rejoin layer d and
@@ -303,27 +408,34 @@ class FunnelStack {
       return std::nullopt;
     }
     adapt(my, true);
-    if (st == kStPopped) return distribute_pop(my);
+    if (st == kStPopped) {
+      distribute_pop(my);
+      return 0;
+    }
     distribute_push(my, st);
-    return st == kStFull ? kFullResult : kPushedResult;
+    // kStFull refuses only the non-eliminated remainder; the slice below
+    // my mark was already consumed by poppers.
+    return st == kStFull ? my.mark.load_relaxed() : my.own_n;
   }
 
   void distribute_push(Rec& my, u32 state) {
     for (Rec* c : my.children) c->result_state.store_release(state);
   }
 
-  /// my.buf holds tree_size items/sentinels; slice them out to the child
-  /// subtrees in capture order and return my own (buf[0]). Each child's
-  /// slice is published by the release store of its result_state.
-  u64 distribute_pop(Rec& my) {
-    u64 off = 1;
+  /// my.buf holds the tree's items/sentinels positionally; slice them out
+  /// to the child subtrees in capture order. Each child receives its
+  /// remaining demand starting at its own mark; the verdict (and slice)
+  /// is published by the release store of its result_state.
+  void distribute_pop(Rec& my) {
+    u64 off = my.own_n;
     for (Rec* c : my.children) {
-      const u64 csize = tree_size(c->sum.load_relaxed());
-      for (u64 i = 0; i < csize; ++i) c->buf[i].store_relaxed(my.buf[off + i].load_relaxed());
+      const u64 crem = tree_size(c->sum.load_relaxed());
+      const u64 cmark = c->mark.load_relaxed();
+      for (u64 i = 0; i < crem; ++i)
+        c->buf[cmark + i].store_relaxed(my.buf[off + i].load_relaxed());
       c->result_state.store_release(kStPopped);
-      off += csize;
+      off += crem;
     }
-    return my.buf[0].load_relaxed();
   }
 
   u32 effective_width(Rec& my, u32 d) const {

@@ -1,0 +1,126 @@
+// Optional PQ-level elimination array placed in front of the funnel
+// queues (after Calciu et al., "The Adaptive Priority Queue with
+// Elimination and Combining"): an insert hands its entry directly to a
+// parked delete_min when doing so is provably legal, skipping the
+// structure entirely.
+//
+// Legality argument. The layer maintains `min_seen`, the monotonically
+// decreasing minimum of every priority any insert has *offered* to the
+// queue (updated with a CAS-min before the hand-off check, both seq_cst —
+// in the single total order of these accesses, every insert whose update
+// precedes my read is accounted). An insert(p, ·) attempts a hand-off only
+// when p <= min_seen at that point: then no entry with a strictly smaller
+// priority has ever been offered, so the handed entry is of minimal
+// priority among everything the queue ever held — a legal delete_min
+// return under the quiescent-consistency contract of src/pq/pq.hpp.
+// Inserts whose offered priority is not a historical minimum (and any
+// insert racing a yet-unordered smaller offer, which is then still an
+// overlapping insert covered by the rank bound's |I| slack) go through
+// the structure as usual.
+//
+// Deleter side: a delete_min parks in a random slot only after the
+// structure answered empty-handed — pq.hpp explicitly allows an empty
+// answer under overlapping inserts, so converting some of those into
+// successful hand-offs only sharpens the queue's answers. Parking leaves
+// no residue: the deleter withdraws its slot by CAS on timeout, and a
+// failed withdrawal means an entry was delivered and must be taken.
+//
+// Slot protocol (one Shared word per slot, packed-entry encoding; the
+// reserved top priority makes the two control values distinct from every
+// legal entry):
+//   kSlotEmpty --CAS(deleter)--> kSlotWaiting --CAS(inserter)--> entry
+//   kSlotWaiting --CAS(deleter, timeout)--> kSlotEmpty
+//   entry --store(owning deleter)--> kSlotEmpty
+// The inserter's acq_rel CAS publishes the entry; the deleter's acquire
+// load receives it.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/assert.hpp"
+#include "common/entry.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class ElimLayer {
+ public:
+  /// nslots == 0 disables the layer (enabled() false, both ops no-ops).
+  explicit ElimLayer(u32 nslots) : nslots_(nslots) {
+    if (nslots_ == 0) return;
+    slots_ = std::make_unique<Padded<typename P::template Shared<u64>>[]>(nslots_);
+    for (u32 i = 0; i < nslots_; ++i) (*slots_[i]).store(kSlotEmpty);
+  }
+
+  bool enabled() const { return nslots_ != 0; }
+
+  /// Inserter side: record the offered priority and, if it is a historical
+  /// minimum, try to hand the entry to a parked deleter. True means the
+  /// entry was delivered and the insert is complete.
+  bool try_hand_off(Prio prio, Item item) {
+    if (nslots_ == 0) return false;
+    if (item > kMaxPackableItem) return false; // needs the packed encoding
+    u64 seen = min_seen_.load(); // seq_cst, as is the CAS-min below
+    while (prio < seen) {
+      if (min_seen_.compare_exchange(seen, prio)) {
+        seen = prio;
+        break;
+      }
+    }
+    if (static_cast<u64>(prio) > seen) return false; // smaller prio was offered
+    for (u32 t = 0; t < kProbes; ++t) {
+      auto& slot = *slots_[P::rnd(nslots_)];
+      u64 v = slot.load_relaxed();
+      if (v == kSlotWaiting &&
+          slot.compare_exchange(v, pack_entry({prio, item}), MemOrder::kAcqRel,
+                                MemOrder::kRelaxed))
+        return true;
+    }
+    return false;
+  }
+
+  /// Deleter side: park in a random slot for `spin` re-checks. Returns the
+  /// delivered entry, or nullopt (slot busy, or nobody delivered in time).
+  std::optional<Entry> park(u32 spin) {
+    if (nslots_ == 0) return std::nullopt;
+    auto& slot = *slots_[P::rnd(nslots_)];
+    u64 expected = kSlotEmpty;
+    if (!slot.compare_exchange(expected, kSlotWaiting, MemOrder::kAcqRel,
+                               MemOrder::kRelaxed))
+      return std::nullopt;
+    for (u32 i = 0; i < spin; ++i) {
+      if (slot.load_acquire() != kSlotWaiting) break;
+      P::relax();
+    }
+    u64 cur = slot.load_acquire();
+    if (cur == kSlotWaiting) {
+      u64 waiting = kSlotWaiting;
+      if (slot.compare_exchange(waiting, kSlotEmpty, MemOrder::kAcqRel,
+                                MemOrder::kRelaxed))
+        return std::nullopt;    // withdrew cleanly
+      cur = slot.load_acquire(); // lost the withdrawal race: entry delivered
+    }
+    // Only the parked deleter transitions a delivered slot back to empty.
+    slot.store_release(kSlotEmpty);
+    return unpack_entry(cur);
+  }
+
+ private:
+  /// Both control values use the reserved top priority, so every legal
+  /// packed entry compares unequal to them.
+  static constexpr u64 kSlotEmpty = static_cast<u64>(kMaxPackablePrio) << 48;
+  static constexpr u64 kSlotWaiting = kSlotEmpty | 1;
+  static constexpr u32 kProbes = 2;
+
+  u32 nslots_;
+  /// Offered-priority minimum; only ever decreases. kMaxPackablePrio is
+  /// above every legal priority, so the first offer always records itself.
+  typename P::template Shared<u64> min_seen_{kMaxPackablePrio};
+  std::unique_ptr<Padded<typename P::template Shared<u64>>[]> slots_;
+};
+
+} // namespace fpq

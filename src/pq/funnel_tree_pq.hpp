@@ -13,8 +13,19 @@
 //
 // Quiescently consistent: delete_min may return nullopt when overlapping
 // inserts have not finished publishing counts (see simple_tree_pq.hpp).
+//
+// Batch entry points: insert_batch groups same-priority entries so each
+// group rides one stack traversal and one size-k FaI per tree node on the
+// climb (FunnelCounter::fai_batch). delete_min_batch descends once with a
+// size-k BFaD at the root and splits the batch across the two subtrees by
+// the count the counter actually surrendered — the left child receives the
+// decrements the counter satisfied (items provably below it), the right
+// child the remainder. Left subtrees are resolved first so the out array
+// is filled in nondecreasing priority order. An optional PQ-level
+// elimination array (FunnelOptions::pq_elimination) fronts the point ops.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -24,7 +35,8 @@
 #include "funnel/counter.hpp"
 #include "funnel/params.hpp"
 #include "funnel/stack.hpp"
-#include "pq/linear_funnels_pq.hpp" // FunnelOptions
+#include "pq/elim_layer.hpp"
+#include "pq/linear_funnels_pq.hpp" // FunnelOptions, kMaxBatchChunk, funnel_params_for
 #include "pq/pq.hpp"
 
 namespace fpq {
@@ -34,10 +46,12 @@ class FunnelTreePq {
  public:
   explicit FunnelTreePq(const PqParams& params, const FunnelOptions& opts = {})
       : npriorities_(params.npriorities),
-        nleaves_(round_up_pow2(params.npriorities)) {
+        nleaves_(round_up_pow2(params.npriorities)),
+        chunk_(std::min(params.max_batch, kMaxBatchChunk)),
+        elim_spin_(opts.elim_spin),
+        elim_(opts.pq_elimination ? opts.elim_slots : 0) {
     params.validate();
-    const FunnelParams fp = opts.params ? *opts.params
-                                        : FunnelParams::for_procs(params.maxprocs);
+    const FunnelParams fp = funnel_params_for(params, opts);
     const typename FunnelCounter<P>::Config ctr_cfg{/*bounded=*/true,
                                                     opts.eliminate, /*floor=*/0};
     funnel_counters_.resize(nleaves_);
@@ -57,6 +71,7 @@ class FunnelTreePq {
 
   bool insert(Prio prio, Item item) {
     FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    if (elim_.enabled() && elim_.try_hand_off(prio, item)) return true;
     if (!stacks_[prio]->push(item)) return false;
     for (u32 n = nleaves_ + prio; n > 1; n >>= 1) {
       if ((n & 1) == 0) fai(n >> 1);
@@ -71,9 +86,60 @@ class FunnelTreePq {
       n = (n << 1) | (before > 0 ? 0u : 1u);
     }
     const u32 prio = n - nleaves_;
-    if (prio >= npriorities_) return std::nullopt; // padding leaf
-    if (auto e = stacks_[prio]->pop()) return Entry{prio, *e};
+    if (prio < npriorities_) { // otherwise a padding leaf: quiescently empty
+      if (auto e = stacks_[prio]->pop()) return Entry{prio, *e};
+    }
+    if (elim_.enabled()) return elim_.park(elim_spin_);
     return std::nullopt;
+  }
+
+  /// Aggregated insert: same-priority groups share one stack push_batch and
+  /// one fai_batch per tree node on the climb. Returns the number accepted
+  /// (refusals are stack-capacity exhaustion; refused items get no counts).
+  u32 insert_batch(const Entry* entries, u32 n) {
+    u32 accepted = 0;
+    Item tmp[kMaxBatchChunk];
+    for (u32 base = 0; base < n; base += chunk_) {
+      const u32 c = std::min(chunk_, n - base);
+      const Entry* es = entries + base;
+      for (u32 i = 0; i < c; ++i) {
+        const Prio p = es[i].prio;
+        FPQ_ASSERT_MSG(p < npriorities_, "priority outside the bounded range");
+        bool grouped = false;
+        for (u32 j = 0; j < i; ++j)
+          if (es[j].prio == p) {
+            grouped = true;
+            break;
+          }
+        if (grouped) continue;
+        u32 g = 0;
+        for (u32 j = i; j < c; ++j)
+          if (es[j].prio == p) tmp[g++] = es[j].item;
+        const u32 a = stacks_[p]->push_batch(tmp, g);
+        if (a > 0) {
+          for (u32 node = nleaves_ + p; node > 1; node >>= 1)
+            if ((node & 1) == 0) fai_batch(node >> 1, a);
+        }
+        accepted += a;
+      }
+    }
+    return accepted;
+  }
+
+  /// Aggregated delete-min: one descent per chunk. The root BFaD claims up
+  /// to `k` counts at once; at every internal node the batch splits — the
+  /// counts the node surrendered continue left, the rest go right. Leaves
+  /// drain their share with one pop_batch. Entries land in nondecreasing
+  /// priority order because left subtrees are resolved first.
+  u32 delete_min_batch(Entry* out, u32 k) {
+    u32 got = 0;
+    while (got < k) {
+      const u32 want = std::min(k - got, chunk_);
+      const u32 m = delete_chunk(out + got, want);
+      got += m;
+      if (m < want) break; // counts ran out: the queue is (quiescently) empty
+    }
+    return got;
   }
 
   u32 npriorities() const { return npriorities_; }
@@ -96,8 +162,57 @@ class FunnelTreePq {
     return funnel_counters_[n] ? funnel_counters_[n]->bfad(0) : mcs_counters_[n]->bfad(0);
   }
 
+  void fai_batch(u32 n, u32 k) {
+    if (funnel_counters_[n])
+      funnel_counters_[n]->fai_batch(k);
+    else
+      mcs_counters_[n]->fai_batch(k);
+  }
+
+  /// Size-k BFaD at node `n`: returns how many of the k decrements found
+  /// the counter above its floor (= how many claimed items lie below n).
+  u32 bfad_batch(u32 n, u32 k) {
+    const u64 s = funnel_counters_[n] ? funnel_counters_[n]->bfad_batch(0, k)
+                                      : mcs_counters_[n]->bfad_batch(0, k);
+    return static_cast<u32>(s);
+  }
+
+  /// One batched descent. Iterative DFS over (node, count) demands; the
+  /// right child is pushed before the left so the left — smaller
+  /// priorities — pops first and fills `out` in order.
+  u32 delete_chunk(Entry* out, u32 want) {
+    struct Pending {
+      u32 node;
+      u32 cnt;
+    };
+    // Depth ≤ log2(nleaves_) ≤ 31; each level adds at most one extra frame.
+    Pending stack[40];
+    u32 top = 0;
+    stack[top++] = {1u, want};
+    u32 got = 0;
+    Item tmp[kMaxBatchChunk];
+    while (top > 0) {
+      const Pending cur = stack[--top];
+      if (cur.cnt == 0) continue;
+      if (cur.node >= nleaves_) {
+        const u32 prio = cur.node - nleaves_;
+        if (prio >= npriorities_) continue; // padding leaf: counts absorbed
+        const u32 m = stacks_[prio]->pop_batch(tmp, cur.cnt);
+        for (u32 i = 0; i < m; ++i) out[got++] = Entry{prio, tmp[i]};
+        continue;
+      }
+      const u32 s = bfad_batch(cur.node, cur.cnt);
+      stack[top++] = {(cur.node << 1) | 1u, cur.cnt - s}; // right: leftovers
+      stack[top++] = {cur.node << 1, s};                  // left: popped first
+    }
+    return got;
+  }
+
   u32 npriorities_;
   u32 nleaves_;
+  u32 chunk_;
+  u32 elim_spin_;
+  ElimLayer<P> elim_;
   std::vector<std::unique_ptr<FunnelCounter<P>>> funnel_counters_;
   std::vector<std::unique_ptr<McsCounter<P>>> mcs_counters_;
   std::vector<std::unique_ptr<FunnelStack<P>>> stacks_;

@@ -3,14 +3,24 @@
 // stack; delete-min scans stacks in priority order, testing emptiness with
 // a single read (crucial — a read is far cheaper than a funnel traversal)
 // and popping from the first non-empty one. Quiescently consistent.
+//
+// Batch entry points (insert_batch/delete_min_batch) aggregate: inserts
+// are grouped by priority and each group rides one funnel traversal
+// (FunnelStack::push_batch); deletes drain each non-empty bin with one
+// pop_batch per visit. An optional PQ-level elimination array
+// (FunnelOptions::pq_elimination, src/pq/elim_layer.hpp) can hand an
+// insert of a historically-minimal priority straight to a parked
+// delete_min.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "funnel/params.hpp"
 #include "funnel/stack.hpp"
+#include "pq/elim_layer.hpp"
 #include "pq/pq.hpp"
 
 namespace fpq {
@@ -28,16 +38,37 @@ struct FunnelOptions {
   /// Bin order: LIFO stacks (the paper's default) or the §3.2 fairness
   /// hybrid — elimination in the funnel, FIFO order in the central store.
   BinOrder bin_order = BinOrder::kLifo;
+  /// PQ-level elimination array in front of the structure (see
+  /// elim_layer.hpp for the hand-off legality argument). Off by default.
+  bool pq_elimination = false;
+  u32 elim_slots = 4;
+  /// Deleter parking budget (slot re-checks) before withdrawing.
+  u32 elim_spin = 64;
 };
+
+/// Upper bound on one aggregated chunk; PqParams::max_batch beyond this is
+/// chunked (keeps the grouping scratch on the stack).
+inline constexpr u32 kMaxBatchChunk = 256;
+
+/// The funnel geometry for a queue: the user's (or for_procs) layer set,
+/// with the record buffers widened to carry the queue's batch size.
+inline FunnelParams funnel_params_for(const PqParams& params, const FunnelOptions& opts) {
+  FunnelParams fp =
+      opts.params ? *opts.params : FunnelParams::for_procs(params.maxprocs);
+  fp.batch_limit = std::max(fp.batch_limit, std::min(params.max_batch, kMaxBatchChunk));
+  return fp;
+}
 
 template <Platform P>
 class LinearFunnelsPq {
  public:
   explicit LinearFunnelsPq(const PqParams& params, const FunnelOptions& opts = {})
-      : npriorities_(params.npriorities) {
+      : npriorities_(params.npriorities),
+        chunk_(std::min(params.max_batch, kMaxBatchChunk)),
+        elim_spin_(opts.elim_spin),
+        elim_(opts.pq_elimination ? opts.elim_slots : 0) {
     params.validate();
-    const FunnelParams fp = opts.params ? *opts.params
-                                        : FunnelParams::for_procs(params.maxprocs);
+    const FunnelParams fp = funnel_params_for(params, opts);
     stacks_.reserve(npriorities_);
     for (u32 i = 0; i < npriorities_; ++i)
       stacks_.push_back(std::make_unique<FunnelStack<P>>(
@@ -46,6 +77,7 @@ class LinearFunnelsPq {
 
   bool insert(Prio prio, Item item) {
     FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    if (elim_.enabled() && elim_.try_hand_off(prio, item)) return true;
     return stacks_[prio]->push(item);
   }
 
@@ -55,13 +87,61 @@ class LinearFunnelsPq {
         if (auto e = stacks_[i]->pop()) return Entry{i, *e};
       }
     }
+    if (elim_.enabled()) return elim_.park(elim_spin_);
     return std::nullopt;
+  }
+
+  /// Aggregated insert: entries grouped by priority, one funnel traversal
+  /// per (chunk, priority) group. Returns the number accepted.
+  u32 insert_batch(const Entry* entries, u32 n) {
+    u32 accepted = 0;
+    Item tmp[kMaxBatchChunk];
+    for (u32 base = 0; base < n; base += chunk_) {
+      const u32 c = std::min(chunk_, n - base);
+      const Entry* es = entries + base;
+      for (u32 i = 0; i < c; ++i) {
+        const Prio p = es[i].prio;
+        FPQ_ASSERT_MSG(p < npriorities_, "priority outside the bounded range");
+        bool grouped = false;
+        for (u32 j = 0; j < i; ++j)
+          if (es[j].prio == p) {
+            grouped = true;
+            break;
+          }
+        if (grouped) continue;
+        u32 g = 0;
+        for (u32 j = i; j < c; ++j)
+          if (es[j].prio == p) tmp[g++] = es[j].item;
+        accepted += stacks_[p]->push_batch(tmp, g);
+      }
+    }
+    return accepted;
+  }
+
+  /// Aggregated delete-min: scans bins in priority order, draining each
+  /// non-empty one with batched pops. Returns entries in nondecreasing
+  /// priority order.
+  u32 delete_min_batch(Entry* out, u32 k) {
+    u32 got = 0;
+    Item tmp[kMaxBatchChunk];
+    for (u32 p = 0; p < npriorities_ && got < k; ++p) {
+      while (got < k && !stacks_[p]->empty()) {
+        const u32 want = std::min(k - got, chunk_);
+        const u32 m = stacks_[p]->pop_batch(tmp, want);
+        for (u32 i = 0; i < m; ++i) out[got++] = Entry{p, tmp[i]};
+        if (m < want) break; // bin ran short; move to the next priority
+      }
+    }
+    return got;
   }
 
   u32 npriorities() const { return npriorities_; }
 
  private:
   u32 npriorities_;
+  u32 chunk_;
+  u32 elim_spin_;
+  ElimLayer<P> elim_;
   std::vector<std::unique_ptr<FunnelStack<P>>> stacks_;
 };
 

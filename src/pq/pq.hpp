@@ -10,9 +10,17 @@
 //
 // insert returns false only on capacity exhaustion (a sizing error by the
 // caller, reported rather than silently dropped).
+//
+// Batched operations: insert_batch/delete_min_batch carry several
+// operations through one structure traversal where the algorithm supports
+// aggregation (the funnel queues); every other queue gets a loop fallback
+// with identical semantics. Each batched element individually obeys the
+// single-op contract above — a batch is a sequence of concurrent point
+// operations issued by one processor, not an atomic unit.
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 
 #include "common/assert.hpp"
@@ -35,6 +43,11 @@ struct PqParams {
   u32 heap_capacity = 1u << 16;
   /// Seed for structure-construction randomness (skip-list levels).
   u64 seed = 1;
+  /// Largest batch the funnel queues aggregate in one traversal; larger
+  /// insert_batch/delete_min_batch requests are chunked. Sizes the
+  /// per-record funnel buffers, so the default keeps the point-operation
+  /// memory footprint — raise it when using the batch API in earnest.
+  u32 max_batch = 1;
 
   void validate() const {
     FPQ_ASSERT_MSG(npriorities >= 1 && npriorities < kMaxPackablePrio,
@@ -42,6 +55,7 @@ struct PqParams {
     FPQ_ASSERT_MSG(maxprocs >= 1, "maxprocs must be positive");
     FPQ_ASSERT_MSG(bin_capacity >= 1, "bin_capacity must be positive");
     FPQ_ASSERT_MSG(heap_capacity >= 1, "heap_capacity must be positive");
+    FPQ_ASSERT_MSG(max_batch >= 1, "max_batch must be positive");
   }
 };
 
@@ -54,10 +68,21 @@ class IPriorityQueue {
   virtual ~IPriorityQueue() = default;
   virtual bool insert(Prio prio, Item item) = 0;
   virtual std::optional<Entry> delete_min() = 0;
+  /// Inserts every entry, aggregating where the structure supports it.
+  /// Returns the number accepted; refusals are capacity exhaustion only
+  /// (which entries were refused is algorithm-dependent).
+  virtual u32 insert_batch(std::span<const Entry> entries) = 0;
+  /// Removes up to out.size() quiescently-minimal entries into out, in
+  /// nondecreasing priority order; returns the count obtained. Like
+  /// delete_min, may come up short under overlapping inserts.
+  virtual u32 delete_min_batch(std::span<Entry> out) = 0;
   virtual u32 npriorities() const = 0;
 };
 
-/// Adapts any concrete queue type to IPriorityQueue.
+/// Adapts any concrete queue type to IPriorityQueue. Queues that implement
+/// the native batch entry points (insert_batch(const Entry*, u32) /
+/// delete_min_batch(Entry*, u32)) are dispatched to them; the rest get the
+/// loop fallback.
 template <Platform P, class Q>
 class PqAdapter final : public IPriorityQueue<P> {
  public:
@@ -66,6 +91,36 @@ class PqAdapter final : public IPriorityQueue<P> {
 
   bool insert(Prio prio, Item item) override { return q_.insert(prio, item); }
   std::optional<Entry> delete_min() override { return q_.delete_min(); }
+
+  u32 insert_batch(std::span<const Entry> entries) override {
+    const u32 n = static_cast<u32>(entries.size());
+    if (n == 0) return 0;
+    if constexpr (requires(Q& q) { q.insert_batch(entries.data(), n); }) {
+      return q_.insert_batch(entries.data(), n);
+    } else {
+      u32 accepted = 0;
+      for (const Entry& e : entries)
+        if (q_.insert(e.prio, e.item)) ++accepted;
+      return accepted;
+    }
+  }
+
+  u32 delete_min_batch(std::span<Entry> out) override {
+    const u32 k = static_cast<u32>(out.size());
+    if (k == 0) return 0;
+    if constexpr (requires(Q& q) { q.delete_min_batch(out.data(), k); }) {
+      return q_.delete_min_batch(out.data(), k);
+    } else {
+      u32 got = 0;
+      for (u32 i = 0; i < k; ++i) {
+        auto e = q_.delete_min();
+        if (!e) break;
+        out[got++] = *e;
+      }
+      return got;
+    }
+  }
+
   u32 npriorities() const override { return q_.npriorities(); }
 
   Q& impl() { return q_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,9 +27,15 @@ ScenarioChecks checks_for(const StressSpec& spec) {
   return c;
 }
 
-QueueFactory registry_factory(Algorithm algo) {
-  return [algo](const PqParams& params) {
-    return make_priority_queue<SimPlatform>(algo, params);
+QueueFactory registry_factory(const StressSpec& spec) {
+  const Algorithm algo = spec.algo;
+  FunnelOptions opts;
+  if (spec.elim > 0) {
+    opts.pq_elimination = true;
+    opts.elim_slots = spec.elim;
+  }
+  return [algo, opts](const PqParams& params) {
+    return make_priority_queue<SimPlatform>(algo, params, opts);
   };
 }
 
@@ -62,7 +69,8 @@ std::string to_line(const StressSpec& s) {
      << " seed=" << s.seed << " procs=" << s.nprocs << " ops=" << s.ops_per_proc
      << " nprio=" << s.npriorities << " ins=" << s.insert_percent
      << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
-     << " jitter=" << s.access_jitter << " lin=" << (s.check_lin ? 1 : 0);
+     << " jitter=" << s.access_jitter << " batch=" << s.batch << " elim=" << s.elim
+     << " lin=" << (s.check_lin ? 1 : 0);
   return os.str();
 }
 
@@ -105,6 +113,10 @@ StressSpec spec_from_line(const std::string& line) {
       s.max_delay = std::stoull(val);
     } else if (key == "jitter") {
       s.access_jitter = std::stoull(val);
+    } else if (key == "batch") {
+      s.batch = static_cast<u32>(std::stoul(val));
+    } else if (key == "elim") {
+      s.elim = static_cast<u32>(std::stoul(val));
     } else if (key == "lin") {
       s.check_lin = val != "0";
     } else {
@@ -115,8 +127,8 @@ StressSpec spec_from_line(const std::string& line) {
       throw std::invalid_argument("bad stress spec token '" + tok + "': " + e.what());
     }
   }
-  if (s.nprocs < 1 || s.npriorities < 1)
-    throw std::invalid_argument("stress spec needs procs >= 1 and nprio >= 1");
+  if (s.nprocs < 1 || s.npriorities < 1 || s.batch < 1)
+    throw std::invalid_argument("stress spec needs procs, nprio and batch >= 1");
   return s;
 }
 
@@ -142,33 +154,79 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
   PqParams params{.npriorities = spec.npriorities, .maxprocs = spec.nprocs,
                   .bin_capacity = 1u << 13};
   params.seed = spec.seed;
+  params.max_batch = spec.batch;
   auto pq = make(params);
   HistoryRecorder rec(spec.nprocs);
   std::vector<std::vector<Entry>> ins(spec.nprocs), del(spec.nprocs);
   bool insert_refused = false;
 
   sim::Engine eng(spec.nprocs, spec.machine(), spec.seed);
-  eng.run([&](ProcId id) {
-    for (u32 i = 0; i < spec.ops_per_proc; ++i) {
-      SimPlatform::delay(SimPlatform::rnd(64));
-      if (SimPlatform::rnd(100) < spec.insert_percent) {
-        const Entry e{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
-                      (static_cast<u64>(id) << 20) | i};
-        const Cycles t0 = SimPlatform::now();
-        if (!pq->insert(e.prio, e.item)) {
-          insert_refused = true;
-          return;
+  if (spec.batch <= 1) {
+    eng.run([&](ProcId id) {
+      for (u32 i = 0; i < spec.ops_per_proc; ++i) {
+        SimPlatform::delay(SimPlatform::rnd(64));
+        if (SimPlatform::rnd(100) < spec.insert_percent) {
+          const Entry e{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
+                        (static_cast<u64>(id) << 20) | i};
+          const Cycles t0 = SimPlatform::now();
+          if (!pq->insert(e.prio, e.item)) {
+            insert_refused = true;
+            return;
+          }
+          rec.record(OpRecord::insert_op(id, t0, SimPlatform::now(), e));
+          ins[id].push_back(e);
+        } else {
+          const Cycles t0 = SimPlatform::now();
+          auto e = pq->delete_min();
+          rec.record(OpRecord::delete_op(id, t0, SimPlatform::now(), e));
+          if (e) del[id].push_back(*e);
         }
-        rec.record(OpRecord::insert_op(id, t0, SimPlatform::now(), e));
-        ins[id].push_back(e);
-      } else {
-        const Cycles t0 = SimPlatform::now();
-        auto e = pq->delete_min();
-        rec.record(OpRecord::delete_op(id, t0, SimPlatform::now(), e));
-        if (e) del[id].push_back(*e);
       }
-    }
-  });
+    });
+  } else {
+    // Batched mixed phase: each processor's ops_per_proc operations are
+    // issued in insert_batch / delete_min_batch groups of up to spec.batch.
+    // Each element is recorded as one operation spanning the whole batch's
+    // [invoke, response] window — per pq.hpp a batch IS a set of concurrent
+    // point operations, so the shared window is the element's real span.
+    // Conservation and the quiescent phase checks are span-independent;
+    // the linearizability checker sees batch elements as mutually
+    // concurrent, which is exactly the semantics the interface promises.
+    eng.run([&](ProcId id) {
+      std::vector<Entry> buf(spec.batch);
+      for (u32 i = 0; i < spec.ops_per_proc;) {
+        SimPlatform::delay(SimPlatform::rnd(64));
+        const u32 n = std::min(spec.batch, spec.ops_per_proc - i);
+        if (SimPlatform::rnd(100) < spec.insert_percent) {
+          for (u32 j = 0; j < n; ++j)
+            buf[j] = Entry{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
+                           (static_cast<u64>(id) << 20) | (i + j)};
+          const Cycles t0 = SimPlatform::now();
+          const u32 a = pq->insert_batch(std::span<const Entry>(buf.data(), n));
+          const Cycles t1 = SimPlatform::now();
+          if (a != n) {
+            insert_refused = true;
+            return;
+          }
+          for (u32 j = 0; j < n; ++j) {
+            rec.record(OpRecord::insert_op(id, t0, t1, buf[j]));
+            ins[id].push_back(buf[j]);
+          }
+        } else {
+          const Cycles t0 = SimPlatform::now();
+          const u32 m = pq->delete_min_batch(std::span<Entry>(buf.data(), n));
+          const Cycles t1 = SimPlatform::now();
+          for (u32 j = 0; j < m; ++j) {
+            rec.record(OpRecord::delete_op(id, t0, t1, buf[j]));
+            del[id].push_back(buf[j]);
+          }
+          for (u32 j = m; j < n; ++j)
+            rec.record(OpRecord::delete_op(id, t0, t1, std::nullopt));
+        }
+        i += n;
+      }
+    });
+  }
 
   auto fail = [&](std::string kind, std::string diagnostic) {
     return StressFailure{spec, std::move(kind), std::move(diagnostic), rec.merged()};
@@ -222,7 +280,7 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
 }
 
 std::optional<StressFailure> run_scenario(const StressSpec& spec) {
-  return run_scenario_with(registry_factory(spec.algo), spec, checks_for(spec));
+  return run_scenario_with(registry_factory(spec), spec, checks_for(spec));
 }
 
 StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
@@ -260,7 +318,7 @@ StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
 }
 
 StressFailure minimize(const StressFailure& f) {
-  return minimize_with(registry_factory(f.spec.algo), f, checks_for(f.spec));
+  return minimize_with(registry_factory(f.spec), f, checks_for(f.spec));
 }
 
 std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* progress) {
@@ -291,6 +349,8 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.ops_per_proc = opt.ops_per_proc;
       spec.npriorities = opt.npriorities;
       spec.insert_percent = opt.insert_percent;
+      spec.batch = opt.batch;
+      spec.elim = opt.elim;
       // The baseline policy stays jitter-free: it is the paper's
       // measurement schedule, kept as the known-good reference point.
       spec.access_jitter =

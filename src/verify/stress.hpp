@@ -50,6 +50,15 @@ struct StressSpec {
   u32 perturb_permille = 250;
   Cycles max_delay = 256;
   Cycles access_jitter = 0;
+  /// Batch width: 1 runs the classic point-op mixed phase; > 1 groups each
+  /// processor's operations into insert_batch/delete_min_batch calls of up
+  /// to this size (PqParams::max_batch is set to match). Every batched
+  /// element is recorded as its own operation sharing the batch's
+  /// [invoke, response] window, so the same checkers apply unchanged.
+  u32 batch = 1;
+  /// PQ-level elimination array slots for the funnel queues (0 = off);
+  /// forwarded as FunnelOptions::pq_elimination / elim_slots.
+  u32 elim = 0;
   /// Gate the exhaustive linearizability checker (keep histories small:
   /// nprocs * ops_per_proc + drain must stay around 20 ops).
   bool check_lin = false;
@@ -114,6 +123,9 @@ struct StressOptions {
   /// Per-access jitter used for the perturbing policies (the
   /// smallest-clock baseline always runs jitter-free).
   Cycles access_jitter = 64;
+  /// Batch width / elimination slots forwarded into every spec.
+  u32 batch = 1;
+  u32 elim = 0;
   bool minimize_failures = true;
   /// Stop sweeping after this many failures (each is minimized).
   u32 max_failures = 1;

@@ -61,6 +61,8 @@ int usage(const char* argv0) {
       << "  --seeds=N            seeds per (algorithm, policy) combination (default 32)\n"
       << "  --seed-base=N        first seed (default 1)\n"
       << "  --procs=N --ops=N --nprio=N --insert-pct=N --jitter=N   workload shape\n"
+      << "  --batch=N            group ops into insert_batch/delete_min_batch calls\n"
+      << "  --elim=N             PQ-level elimination slots for funnel queues (0=off)\n"
       << "  --max-failures=N     stop after N minimized counterexamples (default 1)\n"
       << "  --no-minimize        report the first failure unshrunk\n"
       << "  --quiet              suppress per-combination progress\n"
@@ -103,6 +105,10 @@ int main(int argc, char** argv) {
         opt.insert_percent = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--jitter=", 0) == 0) {
         opt.access_jitter = std::stoull(val());
+      } else if (arg.rfind("--batch=", 0) == 0) {
+        opt.batch = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--elim=", 0) == 0) {
+        opt.elim = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg == "--no-minimize") {
@@ -127,8 +133,9 @@ int main(int argc, char** argv) {
   }
 
   if (opt.nprocs < 1 || opt.ops_per_proc < 1 || opt.npriorities < 1 ||
-      opt.insert_percent > 100 || opt.seeds < 1) {
-    std::cerr << "need --procs/--ops/--nprio/--seeds >= 1 and --insert-pct <= 100\n";
+      opt.insert_percent > 100 || opt.seeds < 1 || opt.batch < 1) {
+    std::cerr << "need --procs/--ops/--nprio/--seeds/--batch >= 1 and "
+                 "--insert-pct <= 100\n";
     return usage(argv[0]);
   }
 

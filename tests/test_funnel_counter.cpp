@@ -278,6 +278,114 @@ TEST(FunnelCounter, AdaptionStaysWithinConfiguredRange) {
   EXPECT_EQ(c.read(), 100 + 32 * 20);
 }
 
+// ---- Batched operations (fai_batch / bfad_batch): a record carries a
+// whole ±k batch through the funnel; one central RMW applies the merged
+// sum and the success count splits positionally on the way back.
+
+TEST(FunnelCounter, SequentialFaiBatch) {
+  FunnelParams fp = tight_params(1);
+  fp.batch_limit = 8;
+  FunnelCounter<SimPlatform> c(1, fp, Cfg{false, false, 0}, 0);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_EQ(c.fai_batch(5), 5u);
+    EXPECT_EQ(c.fai_batch(1), 1u); // k=1 degenerates to fai
+    EXPECT_EQ(c.fai_batch(3), 3u);
+  });
+  EXPECT_EQ(c.read(), 9);
+}
+
+TEST(FunnelCounter, SequentialBfadBatchClampsAtFloor) {
+  FunnelParams fp = tight_params(1);
+  fp.batch_limit = 8;
+  FunnelCounter<SimPlatform> c(1, fp, Cfg{true, true, 0}, 5);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_EQ(c.bfad_batch(0, 3), 3u); // 5 -> 2
+    EXPECT_EQ(c.bfad_batch(0, 4), 2u); // only 2 above the floor
+    EXPECT_EQ(c.bfad_batch(0, 2), 0u); // pinned
+  });
+  EXPECT_EQ(c.read(), 0);
+}
+
+TEST(FunnelCounter, SequentialBfadBatchNonzeroFloor) {
+  FunnelParams fp = tight_params(1);
+  fp.batch_limit = 4;
+  FunnelCounter<SimPlatform> c(1, fp, Cfg{true, true, 3}, 7);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_EQ(c.bfad_batch(3, 4), 4u); // 7 -> 3
+    EXPECT_EQ(c.bfad_batch(3, 1), 0u);
+  });
+  EXPECT_EQ(c.read(), 3);
+}
+
+struct BatchMixCase {
+  u32 nprocs;
+  bool eliminate;
+  u32 levels;
+  u64 seed;
+};
+
+class FunnelBatchMixSweep : public ::testing::TestWithParam<BatchMixCase> {};
+
+TEST_P(FunnelBatchMixSweep, MixedBatchSizesKeepExactAccounting) {
+  // Arbitrary same-sign batch sums combine, opposite ones eliminate whole
+  // or partially; whatever path each batch takes, the quiescent accounting
+  // must stay exact: value == increments - effective decrements.
+  const auto [nprocs, eliminate, levels, seed] = GetParam();
+  FunnelParams fp = tight_params(levels);
+  fp.batch_limit = 4;
+  FunnelCounter<SimPlatform> c(nprocs, fp, Cfg{true, eliminate, 0}, 0);
+  auto incs = std::make_unique<SimShared<u64>>(0);
+  auto effective_decs = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 20; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      const u64 k = 1 + SimPlatform::rnd(4);
+      if (SimPlatform::flip()) {
+        EXPECT_EQ(c.fai_batch(k), k);
+        incs->fetch_add(k);
+      } else {
+        const u64 s = c.bfad_batch(0, k);
+        ASSERT_LE(s, k) << "more successes than requested decrements";
+        effective_decs->fetch_add(s);
+      }
+    }
+  });
+  EXPECT_GE(c.read(), 0);
+  EXPECT_EQ(c.read(),
+            static_cast<i64>(incs->load()) - static_cast<i64>(effective_decs->load()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FunnelBatchMixSweep,
+    ::testing::Values(BatchMixCase{2, true, 1, 1}, BatchMixCase{4, true, 2, 2},
+                      BatchMixCase{8, true, 2, 3}, BatchMixCase{16, true, 2, 4},
+                      BatchMixCase{32, true, 3, 5}, BatchMixCase{64, true, 3, 6},
+                      BatchMixCase{8, false, 2, 7}, BatchMixCase{32, false, 3, 8},
+                      BatchMixCase{128, true, 3, 9}));
+
+TEST(FunnelCounter, BatchedDecsAgainstPinnedFloorNeverOverdraw) {
+  // Batched analog of the floor-pin regression: initial value 5, every op
+  // a batch of 2..4 decrements; exactly 5 may ever take effect.
+  const i64 initial = 5;
+  FunnelParams fp = tight_params(2);
+  fp.batch_limit = 4;
+  FunnelCounter<SimPlatform> c(16, fp, Cfg{true, true, 0}, initial);
+  auto effective = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(16, {}, 23);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 15; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      effective->fetch_add(c.bfad_batch(0, 2 + SimPlatform::rnd(3)));
+    }
+  });
+  EXPECT_EQ(effective->load(), static_cast<u64>(initial));
+  EXPECT_EQ(c.read(), 0);
+}
+
 TEST(FunnelCounter, BfadOnWrongBoundAborts) {
   FunnelCounter<SimPlatform> c(1, tight_params(1), Cfg{true, true, 0}, 0);
   sim::Engine eng(1);

@@ -122,6 +122,153 @@ INSTANTIATE_TEST_SUITE_P(
                       StackCase{32, 3, false, 9}, StackCase{64, 4, false, 10},
                       StackCase{256, 3, true, 11}));
 
+// ---- Batched operations (push_batch / pop_batch): a record carries a
+// whole batch; same-direction trees combine at any sizes, opposite trees
+// eliminate whole batches or slices of the capturer's own batch.
+
+FunnelParams batch_params(u32 levels, u32 batch_limit) {
+  FunnelParams p = tight_params(levels);
+  p.batch_limit = batch_limit;
+  return p;
+}
+
+TEST(FunnelStack, SequentialPushPopBatch) {
+  FunnelStack<SimPlatform> st(1, batch_params(1, 8), 64);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    const Item in[5] = {10, 11, 12, 13, 14};
+    EXPECT_EQ(st.push_batch(in, 5), 5u);
+    EXPECT_EQ(st.size(), 5u);
+    Item out[8];
+    // LIFO central store: a batched pop drains from the top.
+    EXPECT_EQ(st.pop_batch(out, 3), 3u);
+    EXPECT_EQ(out[0], 14u);
+    EXPECT_EQ(out[1], 13u);
+    EXPECT_EQ(out[2], 12u);
+    // Short pop: only 2 remain of the 4 requested.
+    EXPECT_EQ(st.pop_batch(out, 4), 2u);
+    EXPECT_EQ(out[0], 11u);
+    EXPECT_EQ(out[1], 10u);
+    EXPECT_TRUE(st.empty());
+    EXPECT_EQ(st.pop_batch(out, 2), 0u);
+  });
+}
+
+TEST(FunnelStack, PushBatchRefusedWholeWhenStoreLacksRoom) {
+  // The central store refuses a batch's whole remainder (all-or-nothing per
+  // tree), so a too-large batch leaves the store untouched.
+  FunnelStack<SimPlatform> st(1, batch_params(1, 8), 4);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    const Item in[6] = {1, 2, 3, 4, 5, 6};
+    EXPECT_EQ(st.push_batch(in, 6), 0u);
+    EXPECT_TRUE(st.empty());
+    EXPECT_EQ(st.push_batch(in, 4), 4u);
+    EXPECT_EQ(st.size(), 4u);
+    EXPECT_EQ(st.push_batch(in + 4, 2), 0u); // full again
+    EXPECT_EQ(st.size(), 4u);
+  });
+}
+
+struct BatchStackCase {
+  u32 nprocs;
+  u32 levels;
+  bool eliminate;
+  u64 seed;
+};
+
+class FunnelStackBatchSweep : public ::testing::TestWithParam<BatchStackCase> {};
+
+TEST_P(FunnelStackBatchSweep, MixedBatchSizesConserveItems) {
+  const auto [nprocs, levels, eliminate, seed] = GetParam();
+  FunnelStack<SimPlatform> st(nprocs, batch_params(levels, 4), 1u << 14, eliminate);
+  std::vector<std::vector<u64>> popped(nprocs);
+  std::vector<u64> pushed_count(nprocs, 0);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    Item buf[4];
+    for (u32 i = 0; i < 20; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      const u32 k = 1 + static_cast<u32>(SimPlatform::rnd(4));
+      if (SimPlatform::flip()) {
+        for (u32 j = 0; j < k; ++j)
+          buf[j] = (static_cast<u64>(id) << 32) | (i * 8 + j);
+        ASSERT_EQ(st.push_batch(buf, k), k) << "capacity sized to never refuse";
+        pushed_count[id] += k;
+      } else {
+        const u32 m = st.pop_batch(buf, k);
+        ASSERT_LE(m, k);
+        for (u32 j = 0; j < m; ++j) popped[id].push_back(buf[j]);
+      }
+    }
+  });
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    Item buf[4];
+    for (;;) {
+      const u32 m = st.pop_batch(buf, 4);
+      for (u32 j = 0; j < m; ++j) popped[0].push_back(buf[j]);
+      if (m < 4) break;
+    }
+  });
+  u64 pushed_total = 0;
+  for (u64 c : pushed_count) pushed_total += c;
+  std::multiset<u64> all;
+  for (const auto& v : popped) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), pushed_total) << "items lost or duplicated";
+  std::set<u64> uniq(all.begin(), all.end());
+  EXPECT_EQ(uniq.size(), all.size());
+  EXPECT_TRUE(st.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FunnelStackBatchSweep,
+    ::testing::Values(BatchStackCase{2, 1, true, 1}, BatchStackCase{4, 2, true, 2},
+                      BatchStackCase{8, 2, true, 3}, BatchStackCase{16, 2, true, 4},
+                      BatchStackCase{32, 3, true, 5}, BatchStackCase{64, 3, true, 6},
+                      BatchStackCase{8, 2, false, 7}, BatchStackCase{32, 3, false, 8},
+                      BatchStackCase{128, 3, true, 9}));
+
+TEST(FunnelStack, BatchAndPointOpsInterleaveSafely) {
+  // Point ops are 1-batches; mixing them with wide batches exercises the
+  // unequal-size combine and partial elimination paths.
+  const u32 nprocs = 24;
+  FunnelStack<SimPlatform> st(nprocs, batch_params(2, 4), 1u << 14);
+  auto pushed_n = std::make_unique<SimShared<u64>>(0);
+  auto popped_n = std::make_unique<SimShared<u64>>(0);
+  sim::Engine eng(nprocs, {}, 31);
+  eng.run([&](ProcId id) {
+    Item buf[4];
+    for (u32 i = 0; i < 24; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(32));
+      switch (SimPlatform::rnd(4)) {
+        case 0:
+          ASSERT_TRUE(st.push((static_cast<u64>(id) << 32) | (i * 8)));
+          pushed_n->fetch_add(1);
+          break;
+        case 1:
+          if (st.pop()) popped_n->fetch_add(1);
+          break;
+        case 2: {
+          for (u32 j = 0; j < 3; ++j)
+            buf[j] = (static_cast<u64>(id) << 32) | (i * 8 + 1 + j);
+          ASSERT_EQ(st.push_batch(buf, 3), 3u);
+          pushed_n->fetch_add(3);
+          break;
+        }
+        default:
+          popped_n->fetch_add(st.pop_batch(buf, 3));
+      }
+    }
+  });
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    while (st.pop()) popped_n->fetch_add(1);
+  });
+  EXPECT_EQ(pushed_n->load(), popped_n->load());
+  EXPECT_TRUE(st.empty());
+}
+
 TEST(FunnelStack, EmptyIsSingleRead) {
   FunnelStack<SimPlatform> st(2, tight_params(1), 16);
   sim::Engine eng(2);

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <set>
+#include <vector>
 
 #include "container/bin.hpp"
 #include "core/registry.hpp"
@@ -13,6 +14,7 @@
 #include "funnel/stack.hpp"
 #include "platform/native.hpp"
 #include "sync/mcs_lock.hpp"
+#include "verify/quiescent.hpp"
 
 namespace fpq {
 namespace {
@@ -159,6 +161,84 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, NativeQueues, ::testing::ValuesIn(all_algorit
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
+
+// ---- Batched entry points under real threads (the TSan gate for the
+// DESIGN.md §9 batch pipeline): conservation per element, item
+// uniqueness, and a sorted quiescent drain.
+class NativeBatchedQueues : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(NativeBatchedQueues, ConcurrentBatchConservation) {
+  constexpr u32 kBatch = 8;
+  PqParams params{.npriorities = 16, .maxprocs = kThreads, .bin_capacity = 1u << 13};
+  params.max_batch = kBatch;
+  auto pq = make_priority_queue<NativePlatform>(GetParam(), params);
+  std::atomic<u64> inserted{0}, deleted{0};
+  NativePlatform::run(kThreads, [&](ProcId id) {
+    for (u32 round = 0; round < 40; ++round) {
+      if (NativePlatform::flip()) {
+        std::vector<Entry> in(kBatch);
+        for (u32 i = 0; i < kBatch; ++i)
+          in[i] = Entry{static_cast<Prio>(NativePlatform::rnd(16)),
+                        (static_cast<u64>(id) << 24) | (round * kBatch + i)};
+        ASSERT_EQ(pq->insert_batch(in), kBatch);
+        inserted.fetch_add(kBatch);
+      } else {
+        std::vector<Entry> out(kBatch);
+        deleted.fetch_add(pq->delete_min_batch(out));
+      }
+    }
+  });
+  // Quiescent drain: batched deletes must come back sorted and account
+  // for every remaining item exactly once.
+  std::vector<Entry> drained;
+  NativePlatform::run(1, [&](ProcId) {
+    std::vector<Entry> out(kBatch);
+    for (u32 got; (got = pq->delete_min_batch(out)) > 0;)
+      drained.insert(drained.end(), out.begin(), out.begin() + got);
+  });
+  EXPECT_EQ(deleted.load() + drained.size(), inserted.load());
+  const auto r = check_drain_sorted(drained);
+  EXPECT_TRUE(r.ok) << r.diagnostic;
+  std::set<u64> unique;
+  for (const Entry& e : drained) EXPECT_TRUE(unique.insert(e.item).second);
+}
+
+INSTANTIATE_TEST_SUITE_P(FunnelsAndFallback, NativeBatchedQueues,
+                         ::testing::Values(Algorithm::kLinearFunnels,
+                                           Algorithm::kFunnelTree,
+                                           Algorithm::kSingleLock),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(NativeBatchedQueues, ElimLayerConservesUnderRealThreads) {
+  // PQ-level elimination array in front of the funnels: hand-offs race
+  // real parked deleters, so TSan sees the seq_cst min_seen_ handshake.
+  PqParams params{.npriorities = 16, .maxprocs = kThreads, .bin_capacity = 1u << 13};
+  FunnelOptions opts;
+  opts.pq_elimination = true;
+  opts.elim_slots = 2;
+  for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
+    auto pq = make_priority_queue<NativePlatform>(algo, params, opts);
+    std::atomic<u64> inserted{0}, deleted{0};
+    NativePlatform::run(kThreads, [&](ProcId id) {
+      for (u32 i = 0; i < 250; ++i) {
+        if (NativePlatform::rnd(100) < 45) {
+          ASSERT_TRUE(pq->insert(static_cast<Prio>(NativePlatform::rnd(16)),
+                                 (static_cast<u64>(id) << 24) | i));
+          inserted.fetch_add(1);
+        } else if (pq->delete_min()) {
+          deleted.fetch_add(1);
+        }
+      }
+    });
+    u64 drained = 0;
+    NativePlatform::run(1, [&](ProcId) {
+      while (pq->delete_min()) ++drained;
+    });
+    EXPECT_EQ(deleted.load() + drained, inserted.load()) << to_string(algo);
+  }
+}
 
 TEST(NativeQueues, SequentialSanityFunnelTree) {
   PqParams params{.npriorities = 32, .maxprocs = 1};

@@ -170,6 +170,70 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, SinglePriority, ::testing::ValuesIn(all_algor
                            return std::string(to_string(info.param));
                          });
 
+// ---- Batched entry points: one processor, so every queue (native
+// aggregation or loop fallback) must show exact sequential semantics.
+class BatchSequential : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(BatchSequential, InsertBatchThenDeleteMinBatchDrainsInOrder) {
+  const Algorithm algo = GetParam();
+  PqParams params{.npriorities = 16, .maxprocs = 1, .bin_capacity = 4096};
+  params.max_batch = 8;
+  auto pq = make_priority_queue<SimPlatform>(algo, params);
+  sim::Engine eng(1, {}, 11);
+  eng.run([&](ProcId) {
+    Xorshift rng(11);
+    std::vector<Entry> all;
+    for (u32 round = 0; round < 6; ++round) {
+      std::vector<Entry> batch;
+      for (u32 i = 0; i < 8; ++i)
+        batch.push_back(Entry{static_cast<Prio>(rng.below(16)), round * 100 + i});
+      ASSERT_EQ(pq->insert_batch(batch), batch.size());
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    // Drain with batched deletes of varying width: each chunk must be
+    // internally nondecreasing AND continue the global nondecreasing order.
+    std::vector<Entry> drained;
+    for (u32 want : {5u, 1u, 8u, 8u, 8u, 8u, 8u, 8u}) {
+      std::vector<Entry> out(want);
+      const u32 got = pq->delete_min_batch(out);
+      for (u32 i = 0; i < got; ++i) drained.push_back(out[i]);
+      if (got < want) break;
+    }
+    ASSERT_EQ(drained.size(), all.size());
+    const auto r = check_drain_sorted(drained);
+    EXPECT_TRUE(r.ok) << r.diagnostic;
+    EXPECT_TRUE(same_entries(all, drained));
+    // Empty queue: a batched delete comes back empty, not wedged.
+    std::vector<Entry> out(4);
+    EXPECT_EQ(pq->delete_min_batch(out), 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, BatchSequential,
+                         ::testing::ValuesIn(all_algorithms()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(BatchSequential, MixedPrioritiesSplitAcrossFunnelTreeSubtrees) {
+  // The FunnelTree descent splits one size-k root BFaD across subtrees by
+  // the counter values it reads; a batch spanning both halves of the tree
+  // must come back complete and sorted.
+  PqParams params{.npriorities = 8, .maxprocs = 1, .bin_capacity = 256};
+  params.max_batch = 6;
+  auto pq = make_priority_queue<SimPlatform>(Algorithm::kFunnelTree, params);
+  sim::Engine eng(1, {}, 5);
+  eng.run([&](ProcId) {
+    const std::vector<Entry> batch{{7, 1}, {0, 2}, {3, 3}, {0, 4}, {5, 5}, {2, 6}};
+    ASSERT_EQ(pq->insert_batch(batch), batch.size());
+    std::vector<Entry> out(6);
+    ASSERT_EQ(pq->delete_min_batch(out), 6u);
+    const Prio expect[] = {0, 0, 2, 3, 5, 7};
+    for (u32 i = 0; i < 6; ++i) EXPECT_EQ(out[i].prio, expect[i]) << "at " << i;
+    EXPECT_TRUE(same_entries(batch, out));
+  });
+}
+
 TEST(PqParamsValidation, RejectsNonsense) {
   PqParams p;
   p.npriorities = 0;

@@ -34,6 +34,8 @@ TEST(StressSpec, LineRoundTripsEveryField) {
   s.perturb_permille = 401;
   s.max_delay = 999;
   s.access_jitter = 17;
+  s.batch = 6;
+  s.elim = 3;
   s.check_lin = true;
   const StressSpec r = spec_from_line(to_line(s));
   EXPECT_EQ(r.algo, s.algo);
@@ -46,6 +48,8 @@ TEST(StressSpec, LineRoundTripsEveryField) {
   EXPECT_EQ(r.perturb_permille, s.perturb_permille);
   EXPECT_EQ(r.max_delay, s.max_delay);
   EXPECT_EQ(r.access_jitter, s.access_jitter);
+  EXPECT_EQ(r.batch, s.batch);
+  EXPECT_EQ(r.elim, s.elim);
   EXPECT_EQ(r.check_lin, s.check_lin);
 }
 
@@ -55,6 +59,7 @@ TEST(StressSpec, RejectsMalformedLines) {
   EXPECT_THROW(spec_from_line("frobnicate=1"), std::invalid_argument);
   EXPECT_THROW(spec_from_line("algo"), std::invalid_argument);
   EXPECT_THROW(spec_from_line("procs=0"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("batch=0"), std::invalid_argument);
 }
 
 TEST(StressSpec, PolicyNamesParse) {
@@ -83,6 +88,65 @@ TEST(StressScenario, CleanAlgorithmsPassEveryPolicy) {
         const auto f = run_scenario(s);
         EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
       }
+    }
+  }
+}
+
+TEST(StressScenario, BatchedFunnelQueuesPassQuiescentChecks) {
+  // Tier-1 slice of the `ctest -L batch` sweep: batch-sum merging and
+  // partial elimination inside the funnels, under adversarial schedules,
+  // against conservation + quiescent-rank + drain-order.
+  for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
+    for (auto policy :
+         {sim::SchedulePolicy::kRandomPreempt, sim::SchedulePolicy::kDelayLeader}) {
+      for (u32 batch : {3u, 5u}) {
+        StressSpec s;
+        s.algo = algo;
+        s.policy = policy;
+        s.seed = 2 + batch;
+        s.batch = batch;
+        s.access_jitter = 64;
+        const auto f = run_scenario(s);
+        EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
+      }
+    }
+  }
+}
+
+TEST(StressScenario, BatchedSingleLockLinearizabilityGatePasses) {
+  // Batched histories through the loop fallback must stay linearizable:
+  // batch elements are recorded as mutually concurrent ops, so the
+  // Wing-Gong checker also validates that widened-window bookkeeping.
+  StressSpec s;
+  s.algo = Algorithm::kSingleLock;
+  s.policy = sim::SchedulePolicy::kDelayLeader;
+  s.nprocs = 3;
+  s.ops_per_proc = 4;
+  s.batch = 2;
+  s.access_jitter = 64;
+  s.check_lin = true;
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    s.seed = seed;
+    const auto f = run_scenario(s);
+    EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
+  }
+}
+
+TEST(StressScenario, ElimLayerFunnelQueuesStayQuiescentlyConsistent) {
+  // The PQ-level elimination array's hand-off legality (elim_layer.hpp) is
+  // schedule-sensitive: a handed entry must still satisfy the quiescent
+  // rank bound and conservation.
+  for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
+    for (u64 seed = 1; seed <= 3; ++seed) {
+      StressSpec s;
+      s.algo = algo;
+      s.policy = sim::SchedulePolicy::kRandomPreempt;
+      s.seed = seed;
+      s.elim = 2;
+      s.insert_percent = 50; // deleters must outpace inserts to park
+      s.access_jitter = 64;
+      const auto f = run_scenario(s);
+      EXPECT_FALSE(f.has_value()) << verify::format_failure(*f);
     }
   }
 }
@@ -132,6 +196,24 @@ class UnlockedBinQueue final : public IPriorityQueue<SimPlatform> {
       return Entry{p, e};
     }
     return std::nullopt;
+  }
+
+  u32 insert_batch(std::span<const Entry> entries) override {
+    u32 accepted = 0;
+    for (const Entry& e : entries)
+      if (insert(e.prio, e.item)) ++accepted;
+    return accepted;
+  }
+
+  u32 delete_min_batch(std::span<Entry> out) override {
+    u32 got = 0;
+    for (Entry& slot : out) {
+      auto e = delete_min();
+      if (!e) break;
+      slot = *e;
+      ++got;
+    }
+    return got;
   }
 
   u32 npriorities() const override { return npriorities_; }
