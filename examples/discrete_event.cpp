@@ -75,7 +75,8 @@ int main() {
 
       if (hop + 1 < kHopsPerJob) {
         // Forward the job to the next station after a random service delay.
-        const u32 next_station = (station + 1 + static_cast<u32>(NativePlatform::rnd(3))) % kStations;
+        const u32 next_station =
+            (station + 1 + static_cast<u32>(NativePlatform::rnd(3))) % kStations;
         u64 next_t = ev->prio + 1 + NativePlatform::rnd(16);
         if (next_t >= kBuckets) next_t = kBuckets - 1; // window saturation
         outstanding.fetch_add(1);

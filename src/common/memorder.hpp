@@ -1,0 +1,42 @@
+// Memory-order annotation vocabulary shared by every Platform backend and
+// by the simulator's happens-before race detector. Mirrors std::memory_order;
+// kept as our own enum (below the platform layer) so the simulator can
+// reason about declared orderings without depending on <atomic>.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace fpq {
+
+enum class MemOrder : u8 {
+  kRelaxed,
+  kAcquire,
+  kRelease,
+  kAcqRel,
+  kSeqCst,
+};
+
+constexpr std::string_view to_string(MemOrder o) {
+  switch (o) {
+    case MemOrder::kRelaxed: return "relaxed";
+    case MemOrder::kAcquire: return "acquire";
+    case MemOrder::kRelease: return "release";
+    case MemOrder::kAcqRel: return "acq_rel";
+    case MemOrder::kSeqCst: return "seq_cst";
+  }
+  return "?";
+}
+
+/// True when the order has an acquire side (joins the publisher's clock).
+constexpr bool acquires(MemOrder o) {
+  return o == MemOrder::kAcquire || o == MemOrder::kAcqRel || o == MemOrder::kSeqCst;
+}
+
+/// True when the order has a release side (publishes the accessor's clock).
+constexpr bool releases(MemOrder o) {
+  return o == MemOrder::kRelease || o == MemOrder::kAcqRel || o == MemOrder::kSeqCst;
+}
+
+} // namespace fpq

@@ -86,40 +86,42 @@ class McsCounter {
  public:
   McsCounter(u32 maxprocs, i64 initial = 0) : lock_(maxprocs), v_(initial) {}
 
-  // v_ is only touched inside the critical section; the lock's edges order
-  // it, so the accesses are relaxed.
+  // v_ is only *mutated* inside the critical section, so the loads feeding
+  // each mutation are relaxed (the lock's edges order them). The stores are
+  // release because read() is lock-free: its acquire load pairs with the
+  // last mutation's release, ordering the reader after the count it saw.
   i64 fai() {
     McsGuard<P> g(lock_);
     i64 old = v_.load_relaxed();
-    v_.store_relaxed(old + 1);
+    v_.store_release(old + 1);
     return old;
   }
 
   i64 fad() {
     McsGuard<P> g(lock_);
     i64 old = v_.load_relaxed();
-    v_.store_relaxed(old - 1);
+    v_.store_release(old - 1);
     return old;
   }
 
   i64 bfad(i64 bound) {
     McsGuard<P> g(lock_);
     i64 old = v_.load_relaxed();
-    if (old > bound) v_.store_relaxed(old - 1);
+    if (old > bound) v_.store_release(old - 1);
     return old;
   }
 
   i64 bfai(i64 bound) {
     McsGuard<P> g(lock_);
     i64 old = v_.load_relaxed();
-    if (old < bound) v_.store_relaxed(old + 1);
+    if (old < bound) v_.store_release(old + 1);
     return old;
   }
 
   /// Batched FaI: k increments in one critical section.
   u64 fai_batch(u64 k) {
     McsGuard<P> g(lock_);
-    v_.store_relaxed(v_.load_relaxed() + static_cast<i64>(k));
+    v_.store_release(v_.load_relaxed() + static_cast<i64>(k));
     return k;
   }
 
@@ -130,7 +132,7 @@ class McsCounter {
     const i64 old = v_.load_relaxed();
     const i64 room = old - bound;
     const u64 eff = room > 0 ? (static_cast<u64>(room) < k ? static_cast<u64>(room) : k) : 0;
-    if (eff != 0) v_.store_relaxed(old - static_cast<i64>(eff));
+    if (eff != 0) v_.store_release(old - static_cast<i64>(eff));
     return eff;
   }
 

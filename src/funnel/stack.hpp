@@ -148,6 +148,10 @@ class FunnelStack {
   static constexpr u64 kNoItem = kNoEntry;
 
   struct alignas(kCacheLineBytes) Rec {
+    // The buffer is handed between owner and capturer wholesale (one party
+    // at a time, ordered by the location/verdict edges); contiguity is
+    // what makes the slice copies cheap.
+    // contract-lint: allow(unpadded-shared)
     explicit Rec(u32 batch) : buf(std::make_unique<typename P::template Shared<u64>[]>(batch)) {}
     typename P::template Shared<u64> location{kLocEmpty};
     typename P::template Shared<i64> sum{0};
@@ -163,6 +167,7 @@ class FunnelStack {
     /// [0, own_n), then each captured child subtree's slice in capture
     /// order. Push trees accumulate items here on the way up; pop trees
     /// receive their slices here on the way down.
+    // contract-lint: allow(unpadded-shared)
     std::unique_ptr<typename P::template Shared<u64>[]> buf;
     // Owner-local state; adaption starts low (assume no load until the
     // lock or layers say otherwise).
@@ -353,8 +358,11 @@ class FunnelStack {
     const u64 r = tree_size(my.local_sum);
     const u64 cap = cells_.size();
     const u64 mark = my.mark.load_relaxed();
-    // cells_/head_/tail_/size_ are only touched inside the MCS critical
-    // section; the lock's edges order them, so the accesses are relaxed.
+    // cells_/head_/tail_ are only touched inside the MCS critical section;
+    // the lock's edges order them, so those accesses are relaxed. size_ is
+    // also *read lock-free* by empty()/size() (the single-read bin-empty
+    // probe), so its stores are release to pair with those acquire loads —
+    // a probe that observes n > 0 is then ordered after the push behind it.
     if (my.local_sum > 0) {
       bool full = false;
       {
@@ -367,7 +375,7 @@ class FunnelStack {
           for (u64 i = 0; i < r; ++i)
             cells_[(t + i) % cap].store_relaxed(my.buf[mark + i].load_relaxed());
           tail_.store_relaxed(t + r);
-          size_.store_relaxed(n + r);
+          size_.store_release(n + r);
         }
       }
       distribute_push(my, full ? kStFull : kStPushed);
@@ -390,7 +398,7 @@ class FunnelStack {
           my.buf[mark + i].store_relaxed(cells_[(h + i) % cap].load_relaxed());
         head_.store_relaxed(h + m);
       }
-      size_.store_relaxed(n - m);
+      size_.store_release(n - m);
       for (u64 i = m; i < r; ++i) my.buf[mark + i].store_relaxed(kNoItem);
     }
     distribute_pop(my);
@@ -462,7 +470,8 @@ class FunnelStack {
   /// tail - head, for 1-read empty. On its own line: the lock-free empty()
   /// probes must not be invalidated by unrelated head_/tail_ churn.
   alignas(kCacheLineBytes) typename P::template Shared<u64> size_{0};
-  std::vector<typename P::template Shared<u64>> cells_;
+  // Central store: only the lock holder touches cells, in bulk.
+  std::vector<typename P::template Shared<u64>> cells_; // contract-lint: allow(unpadded-shared)
   std::vector<std::unique_ptr<Rec>> records_;
   /// Layer slots are swapped by unrelated processors — one per cache line.
   std::vector<std::unique_ptr<Padded<Slot>[]>> layers_;

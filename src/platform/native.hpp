@@ -150,6 +150,11 @@ struct NativePlatform {
   static u64 rnd(u64 bound);
   static bool flip();
 
+  /// Lock-lifecycle hints exist for the simulator's lock-order checker;
+  /// native execution has nothing to record (TSan sees the real locks).
+  static void note_lock_acquire(const void*, bool) {}
+  static void note_lock_release(const void*) {}
+
   /// Binds the calling thread to a processor id without run() — for
   /// embedding in external thread pools. Pair with release().
   static void adopt(ProcId id, u32 nprocs, u64 seed = 1);

@@ -27,6 +27,16 @@
 //                               then escalates per its spin policy.
 //   P::rnd(bound) / P::flip() — deterministic per-processor randomness.
 //   P::kSimulated             — constexpr bool.
+//   P::note_lock_acquire(lock, trylock) / P::note_lock_release(lock)
+//                             — lock-lifecycle hints emitted by the sync
+//                               layer (mcs_lock, ttas_lock). The native
+//                               backend ignores them; the simulator feeds
+//                               them to the lock-order deadlock checker
+//                               when race detection is on (DESIGN.md §10).
+//                               `trylock` marks non-blocking acquisitions,
+//                               which join the held set but add no
+//                               lock-order edges (a trylock cannot block,
+//                               so it cannot close a deadlock cycle).
 //
 // ## Memory-ordering contract
 //
@@ -51,35 +61,30 @@
 //   T    fetch_add(T, MemOrder = kSeqCst)   (integral T only)
 //   T    fetch_sub(T, MemOrder = kSeqCst)   (integral T only)
 //
-// The orders are *annotations of intent with native-backend teeth*: the
+// The orders are *annotations of intent with teeth on both backends*: the
 // native backend maps them 1:1 onto std::atomic orders (unless built with
 // -DFPQ_FORCE_SEQ_CST, the before/after measurement escape hatch), while
 // the simulator executes every access sequentially consistently — its
 // fibers interleave at access granularity under a global clock, so relaxed
 // annotations cannot weaken it. An algorithm is therefore correct iff it
-// is correct on the *native* mapping; the TSan gate (`ctest -L native` on
-// a -DFPQ_SANITIZE=thread build) and tests/test_memory_order.cpp are the
-// checks that the annotations establish the happens-before edges each
-// protocol needs. DESIGN.md §8 records the per-primitive contract.
+// is correct on the *native* mapping. Three checks enforce that: the TSan
+// gate (`ctest -L native` on a -DFPQ_SANITIZE=thread build) and
+// tests/test_memory_order.cpp validate the native mapping, and the
+// simulator's happens-before race detector (src/sim/race_detector.hpp,
+// `ctest -L race`) checks that the *declared* orders alone establish the
+// happens-before edges each protocol needs — it derives HB only from the
+// annotations, so a relaxed store whose visibility silently leans on the
+// simulator's sequential consistency is reported as a race. DESIGN.md §8
+// records the per-primitive contract; §10 the detector's HB model.
 #pragma once
 
 #include <concepts>
 #include <type_traits>
 
+#include "common/memorder.hpp"
 #include "common/types.hpp"
 
 namespace fpq {
-
-/// Memory-order annotation vocabulary shared by every Platform. Mirrors
-/// std::memory_order; kept as our own enum so the simulator can accept the
-/// annotations without depending on <atomic>.
-enum class MemOrder : u8 {
-  kRelaxed,
-  kAcquire,
-  kRelease,
-  kAcqRel,
-  kSeqCst,
-};
 
 template <class T>
 concept SharedWord = std::is_trivially_copyable_v<T> && sizeof(T) <= 8 &&
@@ -99,6 +104,8 @@ concept Platform = requires(typename P::template Shared<u64>& w, u64& e) {
   { w.compare_exchange(e, u64{}, MemOrder::kAcqRel, MemOrder::kRelaxed) } -> std::same_as<bool>;
   { w.fetch_add(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
   { w.fetch_sub(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
+  P::note_lock_acquire(static_cast<const void*>(nullptr), bool{});
+  P::note_lock_release(static_cast<const void*>(nullptr));
 };
 
 } // namespace fpq

@@ -17,10 +17,12 @@ namespace fpq {
 
 // The simulator executes every Shared access sequentially consistently:
 // fibers interleave at access granularity under a single global clock, so
-// there is nothing to reorder. The MemOrder annotations of the platform
-// contract are accepted (and ignored) so algorithm code carries one set of
-// annotations for both backends; the native std::atomic mapping is where
-// they take effect, and the TSan gate is what validates them.
+// there is nothing to reorder and the MemOrder annotations never change a
+// run's outcome. They are not ignored, though: every access forwards its
+// *declared* order to the engine, where the race detector
+// (MachineParams::race_detect, DESIGN.md §10) rebuilds happens-before from
+// the declarations alone and reports reorderings the native std::atomic
+// mapping would be free to perform. Timing is identical either way.
 template <SharedWord T>
 class SimShared {
  public:
@@ -31,63 +33,78 @@ class SimShared {
 
   T load() const {
     T v = v_;
-    touch(sim::AccessKind::Read);
+    touch(sim::AccessKind::Read, MemOrder::kSeqCst);
     return v;
   }
-  T load_acquire() const { return load(); }
-  T load_relaxed() const { return load(); }
+  T load_acquire() const {
+    T v = v_;
+    touch(sim::AccessKind::Read, MemOrder::kAcquire);
+    return v;
+  }
+  T load_relaxed() const {
+    T v = v_;
+    touch(sim::AccessKind::Read, MemOrder::kRelaxed);
+    return v;
+  }
 
   void store(T v) {
     v_ = v;
-    touch(sim::AccessKind::Write);
+    touch(sim::AccessKind::Write, MemOrder::kSeqCst);
   }
-  void store_release(T v) { store(v); }
-  void store_relaxed(T v) { store(v); }
+  void store_release(T v) {
+    v_ = v;
+    touch(sim::AccessKind::Write, MemOrder::kRelease);
+  }
+  void store_relaxed(T v) {
+    v_ = v;
+    touch(sim::AccessKind::Write, MemOrder::kRelaxed);
+  }
 
-  T exchange(T nv, MemOrder = MemOrder::kSeqCst) {
+  T exchange(T nv, MemOrder order = MemOrder::kSeqCst) {
     T old = v_;
     v_ = nv;
-    touch(sim::AccessKind::Rmw);
+    touch(sim::AccessKind::Rmw, order);
     return old;
   }
 
   bool compare_exchange(T& expected, T desired) {
+    return compare_exchange(expected, desired, MemOrder::kSeqCst, MemOrder::kSeqCst);
+  }
+  bool compare_exchange(T& expected, T desired, MemOrder success, MemOrder failure) {
     const bool ok = (v_ == expected);
     if (ok)
       v_ = desired;
     else
       expected = v_;
-    // A failed CAS still costs a round trip for exclusive ownership.
-    touch(sim::AccessKind::Rmw);
+    // A failed CAS still costs a round trip for exclusive ownership, but
+    // HB-wise it is a read at the failure order.
+    touch(sim::AccessKind::Rmw, ok ? success : failure, ok);
     return ok;
   }
-  bool compare_exchange(T& expected, T desired, MemOrder, MemOrder) {
-    return compare_exchange(expected, desired);
-  }
 
-  T fetch_add(T d, MemOrder = MemOrder::kSeqCst)
+  T fetch_add(T d, MemOrder order = MemOrder::kSeqCst)
     requires std::integral<T>
   {
     T old = v_;
     v_ = static_cast<T>(old + d);
-    touch(sim::AccessKind::Rmw);
+    touch(sim::AccessKind::Rmw, order);
     return old;
   }
 
-  T fetch_sub(T d, MemOrder = MemOrder::kSeqCst)
+  T fetch_sub(T d, MemOrder order = MemOrder::kSeqCst)
     requires std::integral<T>
   {
     T old = v_;
     v_ = static_cast<T>(old - d);
-    touch(sim::AccessKind::Rmw);
+    touch(sim::AccessKind::Rmw, order);
     return old;
   }
 
  private:
   friend struct SimPlatform;
 
-  void touch(sim::AccessKind k) const {
-    if (sim::Engine* e = sim::Engine::current()) e->on_access(&v_, k);
+  void touch(sim::AccessKind k, MemOrder order, bool rmw_applied = true) const {
+    if (sim::Engine* e = sim::Engine::current()) e->on_access(&v_, k, order, rmw_applied);
   }
   const void* word_addr() const { return &v_; }
 
@@ -124,6 +141,15 @@ struct SimPlatform {
   static u64 rnd(u64 bound) { return engine().rng().below(bound); }
   static bool flip() { return engine().rng().flip(); }
 
+  /// Lock-lifecycle hints (see platform.hpp): feed the engine's lock-order
+  /// checker. No time is charged; outside a simulation they are no-ops.
+  static void note_lock_acquire(const void* lock, bool trylock) {
+    if (sim::Engine* e = sim::Engine::current()) e->note_lock_acquire(lock, trylock);
+  }
+  static void note_lock_release(const void* lock) {
+    if (sim::Engine* e = sim::Engine::current()) e->note_lock_release(lock);
+  }
+
   /// Spin on a shared word until pred(value). The fiber is parked on the
   /// word's directory line between checks; a version counter closes the
   /// check-then-park race (see Engine::wait_on).
@@ -132,7 +158,9 @@ struct SimPlatform {
     sim::Engine& e = engine();
     for (;;) {
       const u64 ver = e.line_version(w.word_addr());
-      T v = w.load();
+      // Acquire, matching the native backend: the satisfying value is a
+      // release-published flag and the caller reads data behind it.
+      T v = w.load_acquire();
       if (pred(v)) return v;
       e.wait_on(w.word_addr(), ver);
     }

@@ -170,7 +170,8 @@ class HuntPq {
   bool heap_invariant_holds() const {
     for (u64 i = 2; i < nodes_.size(); ++i) {
       const u64 pi = i >> 1;
-      if (nodes_[pi].tag.load_acquire() == kEmpty || nodes_[i].tag.load_acquire() == kEmpty) continue;
+      if (nodes_[pi].tag.load_acquire() == kEmpty || nodes_[i].tag.load_acquire() == kEmpty)
+        continue;
       if (nodes_[pi].entry.load_relaxed() > nodes_[i].entry.load_relaxed()) return false;
     }
     return true;

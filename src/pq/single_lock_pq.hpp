@@ -96,7 +96,8 @@ class SingleLockPq {
   u32 npriorities_;
   McsLock<P> lock_;
   typename P::template Shared<u64> size_{0};
-  std::vector<typename P::template Shared<u64>> heap_;
+  // Only the lock holder touches the heap; dense layout is the point.
+  std::vector<typename P::template Shared<u64>> heap_; // contract-lint: allow(unpadded-shared)
 };
 
 } // namespace fpq

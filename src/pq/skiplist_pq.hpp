@@ -153,6 +153,9 @@ class SkipListPq {
     typename P::template Shared<u32> threaded{0};
     TtasLock<P> slock; // serializes thread/unthread of this link
     std::array<TtasLock<P>, kMaxLevel> level_locks;
+    // A traversal reads one link's levels top-down in quick succession;
+    // keeping them on one line is a locality win, not false sharing.
+    // contract-lint: allow(unpadded-shared)
     std::array<typename P::template Shared<Link*>, kMaxLevel> next;
     std::unique_ptr<LockedBin<P>> bin; // null for sentinels
   };
@@ -186,7 +189,11 @@ class SkipListPq {
         // flag check only excludes one being unthreaded right now.
         const bool pred_live = (pred == head_.get() || pred->threaded.load_acquire() == 1);
         if (pred_live && succ != nullptr && succ->key > x->key) {
-          x->next[lv].store_relaxed(succ);
+          // Release, not relaxed: when x is *re*-threaded, a lock-free
+          // traversal may still be parked on x from its previous tenure and
+          // acquire-read this word directly — the pred->next release below
+          // only covers readers that enter through the fresh splice.
+          x->next[lv].store_release(succ);
           pred->next[lv].store_release(x); // publishes x->next[lv] to lock-free readers
           pred->level_locks[lv].release();
           break;

@@ -14,6 +14,7 @@ Engine::Engine(u32 nprocs, MachineParams params, u64 seed)
     : memory_(nprocs, params), procs_(nprocs), stats_(nprocs), params_(params),
       sched_rng_(seed ^ 0xa5a5a5a5a5a5a5a5ull) {
   for (u32 i = 0; i < nprocs; ++i) procs_[i].rng = Xorshift(seed * 0x100000001b3ull + i);
+  if (params.race_detect) detector_ = std::make_unique<RaceDetector>(nprocs, seed);
 }
 
 Engine::~Engine() {
@@ -64,7 +65,8 @@ bool Engine::perturb(ProcId pid) {
   return true;
 }
 
-void Engine::on_access(const void* addr, AccessKind kind) {
+void Engine::on_access(const void* addr, AccessKind kind, MemOrder order,
+                       bool rmw_applied) {
   if (g_current != this || running_ == kNoProc) return; // setup/teardown code
   Proc& p = procs_[running_];
   // Schedule exploration: jitter the issue time of every shared access so
@@ -73,6 +75,9 @@ void Engine::on_access(const void* addr, AccessKind kind) {
   AccessResult r = memory_.access(running_, addr, kind, p.clock);
   p.clock = r.completion;
   ++stats_[running_].accesses;
+  if (detector_)
+    detector_->on_access(running_, memory_.word_key(addr), kind, order, rmw_applied,
+                         p.clock);
   for (ProcId w : r.woken) {
     Proc& wp = procs_[w];
     FPQ_ASSERT(wp.blocked);
@@ -84,6 +89,15 @@ void Engine::on_access(const void* addr, AccessKind kind) {
   // them keeps host time proportional to *misses*, which is what the model
   // charges for anyway.
   if (!r.hit) yield_running();
+}
+
+void Engine::note_lock_acquire(const void* lock, bool trylock) {
+  if (detector_ && running_ != kNoProc)
+    detector_->on_lock_acquire(running_, lock, trylock, procs_[running_].clock);
+}
+
+void Engine::note_lock_release(const void* lock) {
+  if (detector_ && running_ != kNoProc) detector_->on_lock_release(running_, lock);
 }
 
 void Engine::delay(Cycles c) {
@@ -113,6 +127,9 @@ void Engine::wait_on(const void* addr, u64 observed_version) {
 void Engine::run(const std::function<void(ProcId)>& body) {
   FPQ_ASSERT_MSG(!running_run_, "Engine::run is not reentrant");
   running_run_ = true;
+  // Successive runs are separated by a real host-thread join: an all-fiber
+  // HB barrier, or the drain phase would race against the mixed phase.
+  if (detector_) detector_->on_barrier();
   Engine* prev = g_current;
   g_current = this;
 

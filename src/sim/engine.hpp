@@ -22,14 +22,17 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/memorder.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/fiber.hpp"
 #include "sim/memory.hpp"
 #include "sim/params.hpp"
+#include "sim/race_detector.hpp"
 
 namespace fpq::sim {
 
@@ -62,7 +65,12 @@ class Engine {
   u32 nprocs() const { return static_cast<u32>(procs_.size()); }
   Cycles now() const;
   Xorshift& rng();
-  void on_access(const void* addr, AccessKind kind);
+  /// `order` is the access's *declared* memory order — timing ignores it,
+  /// but the race detector (MachineParams::race_detect) derives the
+  /// happens-before graph from it. `rmw_applied` is false for a failed
+  /// CAS, which reads at its failure order but writes nothing.
+  void on_access(const void* addr, AccessKind kind,
+                 MemOrder order = MemOrder::kSeqCst, bool rmw_applied = true);
   void delay(Cycles c);
   void pause();
   u64 line_version(const void* addr) { return memory_.line_version(addr); }
@@ -74,6 +82,15 @@ class Engine {
   MemoryModel& memory() { return memory_; }
   const std::vector<ProcStats>& proc_stats() const { return stats_; }
   const MachineParams& params() const { return memory_.params(); }
+
+  /// The attached race detector, or nullptr when MachineParams::race_detect
+  /// is off. Lives as long as the engine; query after run() returns.
+  RaceDetector* race_detector() { return detector_.get(); }
+
+  /// Lock-lifecycle hints from the sync layer (via Platform::note_lock_*);
+  /// no-ops unless the race detector is attached and a fiber is running.
+  void note_lock_acquire(const void* lock, bool trylock);
+  void note_lock_release(const void* lock);
 
  private:
   struct Proc {
@@ -105,6 +122,9 @@ class Engine {
   /// shift the per-processor workload RNGs: a run under kSmallestClock is
   /// byte-identical to one built before policies existed.
   Xorshift sched_rng_{0};
+  /// Happens-before race detector (params.race_detect); observes accesses
+  /// without perturbing their timing.
+  std::unique_ptr<RaceDetector> detector_;
 };
 
 } // namespace fpq::sim

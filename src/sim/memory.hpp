@@ -100,6 +100,11 @@ class MemoryModel {
   const MemStats& stats() const { return stats_; }
   const MachineParams& params() const { return params_; }
 
+  /// Replay-stable identifier of a word: its first-touch ordinal (see
+  /// key()). The race detector stamps reports with this, so a report from
+  /// a replayed scenario names the same word in every process.
+  u64 word_key(const void* addr) const { return key(addr); }
+
   /// Directory introspection for tests.
   Line::State state_of(const void* addr) { return line(addr).state; }
   u32 sharer_count(const void* addr) { return line(addr).sharers.count(); }

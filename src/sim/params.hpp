@@ -91,6 +91,13 @@ struct MachineParams {
 
   /// Schedule-exploration settings (default: plain smallest-clock order).
   SchedParams sched;
+
+  /// Attach the happens-before race detector + lock-order checker
+  /// (sim/race_detector.hpp) to the run. Off by default: detection tracks a
+  /// vector clock per fiber and epochs per word, which costs memory and
+  /// time the measurement runs must not pay. Timing is unaffected either
+  /// way — the detector observes accesses, it never delays them.
+  bool race_detect = false;
 };
 
 /// Hard cap baked into the inline sharer bitsets.

@@ -1,0 +1,200 @@
+// Happens-before race detection and lock-order checking for the simulator.
+//
+// The simulator executes sequentially consistently, so nothing can actually
+// go wrong *in the sim* — but every Shared access arrives here with the
+// memory order the algorithm *declared* (DESIGN.md §8), and the detector
+// derives happens-before exclusively from those declarations:
+//
+//   * program order within a fiber;
+//   * release -> acquire pairs on the same word (the word carries a sync
+//     clock that release-flavored writes join and acquire-flavored reads
+//     absorb; RMWs do both sides per their order);
+//   * the seq_cst total order, modeled as one global clock every seq_cst
+//     access joins and republishes (conservative for cross-word seq_cst
+//     pairs, exact for the store-buffering shapes §8.2 reserves it for);
+//   * the all-fibers barrier between Engine::run invocations.
+//
+// Two accesses to the same word that are not ordered by those edges, where
+// at least one is a *relaxed write*, are reported: the algorithm relied on
+// an ordering it never declared, which the native std::atomic mapping is
+// free to violate. This is FastTrack (Flanagan & Freund, PLDI 2009) with
+// the roles shifted one level up: instead of "unsynchronized access to
+// plain memory", the defect is "undeclared synchronization between atomic
+// accesses". Last writes are epochs, last reads adaptively inflate from an
+// epoch to a full vector clock only when reads are genuinely concurrent
+// (the FastTrack representation), so the common word costs O(1) per access.
+//
+// The same layer runs the lock-order deadlock checker: each fiber's held
+// locks form edges in a global acquisition-order graph, and a cycle means
+// two code paths nest the same locks in opposite orders — a deadlock the
+// explored schedules may simply not have hit yet. Trylocks join the held
+// set but add no edges (a trylock cannot block, so it cannot close a
+// cycle).
+//
+// Reports carry fiber ids, cycle timestamps, access kinds and declared
+// orders, plus replay-stable word/lock ordinals (first-touch numbering,
+// like sim/memory.hpp) — a report from a stress scenario is reproduced
+// bit-identically by replaying the scenario's spec line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/memorder.hpp"
+#include "common/types.hpp"
+#include "sim/memory.hpp"
+
+namespace fpq::sim {
+
+/// One fiber's scalar clock at one point in time: FastTrack's compressed
+/// "last access" representation. `fiber == kNoProc` means "never accessed"
+/// and is ordered before everything.
+struct Epoch {
+  ProcId fiber = kNoProc;
+  u64 clock = 0;
+};
+
+/// Dense vector clock over the run's fibers.
+class VectorClock {
+ public:
+  VectorClock() = default;
+  explicit VectorClock(u32 nprocs) : c_(nprocs, 0) {}
+
+  u64 get(ProcId p) const { return c_[p]; }
+  void set(ProcId p, u64 v) { c_[p] = v; }
+  void tick(ProcId p) { ++c_[p]; }
+  void join(const VectorClock& o) {
+    FPQ_ASSERT(o.c_.size() == c_.size());
+    for (std::size_t i = 0; i < c_.size(); ++i)
+      if (o.c_[i] > c_[i]) c_[i] = o.c_[i];
+  }
+  /// Happens-before test: does this clock cover the epoch?
+  bool includes(const Epoch& e) const {
+    return e.fiber == kNoProc || e.clock <= c_[e.fiber];
+  }
+  Epoch epoch_of(ProcId p) const { return {p, c_[p]}; }
+  u32 size() const { return static_cast<u32>(c_.size()); }
+
+ private:
+  std::vector<u64> c_;
+};
+
+/// One side of a reported race.
+struct AccessSite {
+  ProcId fiber = kNoProc;
+  Cycles time = 0;
+  AccessKind kind = AccessKind::Read;
+  MemOrder order = MemOrder::kSeqCst;
+  /// A failed CAS: timing-wise an RMW, HB-wise a read at its failure order.
+  bool failed_rmw = false;
+  bool is_write() const { return kind != AccessKind::Read && !failed_rmw; }
+};
+
+struct RaceReport {
+  /// First-touch ordinal of the word (replay-stable; host addresses are
+  /// not). Matches sim::MemoryModel::word_key for the same scenario.
+  u64 word = 0;
+  AccessSite prev;
+  AccessSite cur;
+  /// Seed of the run, so the report alone names the replayable schedule.
+  u64 seed = 0;
+};
+
+struct LockOrderReport {
+  /// Fiber whose acquisition closed the cycle, and when.
+  ProcId fiber = kNoProc;
+  Cycles time = 0;
+  /// The cycle as first-acquisition ordinals of the locks, starting and
+  /// ending with the same lock: l0 -> l1 -> ... -> l0, where "a -> b" means
+  /// some fiber blocked acquiring b while holding a.
+  std::vector<u32> cycle;
+  u64 seed = 0;
+};
+
+std::string to_string(const RaceReport& r);
+std::string to_string(const LockOrderReport& r);
+
+class RaceDetector {
+ public:
+  /// Reports beyond this are counted but not stored (one racy word in a
+  /// loop should not drown the run in duplicates).
+  static constexpr std::size_t kMaxReports = 64;
+
+  RaceDetector(u32 nprocs, u64 seed);
+
+  /// Observes one Shared access by fiber `t` at completion time `now`.
+  /// `word` is a stable identifier (the memory model's first-touch
+  /// ordinal); `rmw_applied` is false for a failed CAS, which reads (at its
+  /// failure order) but does not write.
+  void on_access(ProcId t, u64 word, AccessKind kind, MemOrder order, bool rmw_applied,
+                 Cycles now);
+
+  /// Lock-lifecycle events from the sync layer (Platform::note_lock_*).
+  void on_lock_acquire(ProcId t, const void* lock, bool trylock, Cycles now);
+  void on_lock_release(ProcId t, const void* lock);
+
+  /// All fibers joined and restarted (Engine::run boundary): every fiber's
+  /// clock absorbs every other's, like the join edges of a barrier.
+  void on_barrier();
+
+  const std::vector<RaceReport>& races() const { return races_; }
+  const std::vector<LockOrderReport>& lock_inversions() const { return inversions_; }
+  /// Total findings including those dropped past kMaxReports.
+  u64 race_count() const { return race_count_; }
+  u64 inversion_count() const { return inversion_count_; }
+
+  /// Introspection for unit tests.
+  const VectorClock& clock_of(ProcId t) const { return fibers_[t]; }
+
+ private:
+  /// Per-fiber metadata of the last read in shared (vector) mode.
+  struct ReadMeta {
+    Cycles time = 0;
+    AccessKind kind = AccessKind::Read;
+    MemOrder order = MemOrder::kSeqCst;
+    bool failed_rmw = false;
+  };
+  struct SharedReads {
+    explicit SharedReads(u32 nprocs) : vc(nprocs), meta(nprocs) {}
+    VectorClock vc;
+    std::vector<ReadMeta> meta;
+  };
+  /// FastTrack word state: epochs while accesses stay ordered, inflated
+  /// structures only where concurrency actually happened.
+  struct WordHb {
+    Epoch write;
+    AccessSite write_site;
+    Epoch read; // valid while reads_ == nullptr
+    AccessSite read_site;
+    std::unique_ptr<SharedReads> reads;   // engaged on concurrent reads
+    std::unique_ptr<VectorClock> sync;    // engaged on first release write
+  };
+
+  void report_race(u64 word, const AccessSite& prev, const AccessSite& cur);
+  /// Interns a lock pointer to a first-acquisition ordinal.
+  u32 lock_ordinal(const void* lock);
+  /// DFS over the order graph: path from `from` back to `to` (cycle probe).
+  bool find_path(u32 from, u32 to, std::vector<u32>& path) const;
+
+  u32 nprocs_;
+  u64 seed_;
+  std::vector<VectorClock> fibers_;
+  VectorClock sc_; // the seq_cst total order's clock
+  std::unordered_map<u64, WordHb> words_;
+
+  std::unordered_map<const void*, u32> lock_ids_;
+  std::vector<std::vector<u32>> held_;           // per fiber, acquisition order
+  std::vector<std::unordered_map<u32, bool>> lock_edges_; // a -> set of b
+  std::vector<bool> cycle_reported_;             // per lock: already in a report
+
+  std::vector<RaceReport> races_;
+  std::vector<LockOrderReport> inversions_;
+  u64 race_count_ = 0;
+  u64 inversion_count_ = 0;
+  std::unordered_map<u64, bool> reported_words_;
+};
+
+} // namespace fpq::sim

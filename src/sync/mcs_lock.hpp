@@ -40,9 +40,11 @@ class McsLock {
       pred->next.store_release(&me);
       P::spin_until(me.locked, [](u32 v) { return v == 0; }); // acquire spin
     }
+    P::note_lock_acquire(this, /*trylock=*/false);
   }
 
   void release() {
+    P::note_lock_release(this);
     QNode& me = node(P::self());
     QNode* succ = me.next.load_acquire();
     if (succ == nullptr) {
@@ -62,7 +64,10 @@ class McsLock {
     QNode& me = node(P::self());
     me.next.store_relaxed(nullptr);
     QNode* expected = nullptr;
-    return tail_.compare_exchange(expected, &me, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    if (!tail_.compare_exchange(expected, &me, MemOrder::kAcqRel, MemOrder::kRelaxed))
+      return false;
+    P::note_lock_acquire(this, /*trylock=*/true);
+    return true;
   }
 
  private:

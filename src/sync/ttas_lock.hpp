@@ -23,16 +23,24 @@ class TtasLock {
     Backoff<P> backoff;
     for (;;) {
       P::spin_until(flag_, [](u32 v) { return v == 0; });
-      if (flag_.exchange(1, MemOrder::kAcqRel) == 0) return;
+      if (flag_.exchange(1, MemOrder::kAcqRel) == 0) {
+        P::note_lock_acquire(this, /*trylock=*/false);
+        return;
+      }
       backoff.spin();
     }
   }
 
-  void release() { flag_.store_release(0); }
+  void release() {
+    P::note_lock_release(this);
+    flag_.store_release(0);
+  }
 
   bool try_acquire() {
     if (flag_.load_relaxed() != 0) return false;
-    return flag_.exchange(1, MemOrder::kAcqRel) == 0;
+    if (flag_.exchange(1, MemOrder::kAcqRel) != 0) return false;
+    P::note_lock_acquire(this, /*trylock=*/true);
+    return true;
   }
 
  private:

@@ -60,6 +60,7 @@ sim::MachineParams StressSpec::machine() const {
   m.sched.perturb_permille = perturb_permille;
   m.sched.max_delay = max_delay;
   m.sched.access_jitter = access_jitter;
+  m.race_detect = race_detect;
   return m;
 }
 
@@ -70,7 +71,7 @@ std::string to_line(const StressSpec& s) {
      << " nprio=" << s.npriorities << " ins=" << s.insert_percent
      << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
      << " jitter=" << s.access_jitter << " batch=" << s.batch << " elim=" << s.elim
-     << " lin=" << (s.check_lin ? 1 : 0);
+     << " lin=" << (s.check_lin ? 1 : 0) << " race=" << (s.race_detect ? 1 : 0);
   return os.str();
 }
 
@@ -119,6 +120,8 @@ StressSpec spec_from_line(const std::string& line) {
       s.elim = static_cast<u32>(std::stoul(val));
     } else if (key == "lin") {
       s.check_lin = val != "0";
+    } else if (key == "race") {
+      s.race_detect = val != "0";
     } else {
       throw std::invalid_argument("unknown stress spec key: " + key);
     }
@@ -247,6 +250,24 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
     }
   });
 
+  // Detector findings outrank the semantic checks: an undeclared-ordering
+  // bug can make any of them fail downstream on native hardware.
+  if (sim::RaceDetector* det = eng.race_detector()) {
+    if (det->race_count() > 0) {
+      std::ostringstream os;
+      os << det->race_count() << " undeclared-ordering race(s); first:\n";
+      for (const sim::RaceReport& r : det->races()) os << "    " << to_string(r) << "\n";
+      return fail("race", os.str());
+    }
+    if (det->inversion_count() > 0) {
+      std::ostringstream os;
+      os << det->inversion_count() << " lock-order inversion(s):\n";
+      for (const sim::LockOrderReport& r : det->lock_inversions())
+        os << "    " << to_string(r) << "\n";
+      return fail("lock-order", os.str());
+    }
+  }
+
   std::vector<Entry> inserted, deleted;
   for (const auto& v : ins) inserted.insert(inserted.end(), v.begin(), v.end());
   for (const auto& v : del) deleted.insert(deleted.end(), v.begin(), v.end());
@@ -351,6 +372,7 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.insert_percent = opt.insert_percent;
       spec.batch = opt.batch;
       spec.elim = opt.elim;
+      spec.race_detect = opt.race_detect;
       // The baseline policy stays jitter-free: it is the paper's
       // measurement schedule, kept as the known-good reference point.
       spec.access_jitter =

@@ -62,6 +62,11 @@ struct StressSpec {
   /// Gate the exhaustive linearizability checker (keep histories small:
   /// nprocs * ops_per_proc + drain must stay around 20 ops).
   bool check_lin = false;
+  /// Attach the happens-before race detector and the lock-order checker
+  /// (sim/race_detector.hpp) to the scenario's engine; any report becomes a
+  /// failure of kind "race" or "lock-order". Timing is unchanged, so a spec
+  /// replays identically with the flag on or off.
+  bool race_detect = false;
 
   /// Machine for this scenario: default timing, spec's scheduling.
   sim::MachineParams machine() const;
@@ -77,6 +82,7 @@ sim::SchedulePolicy policy_from_string(std::string_view name);
 struct StressFailure {
   StressSpec spec;
   std::string kind; // conservation | quiescent | drain-order | linearizability
+                    // | capacity | race | lock-order
   std::string diagnostic;
   /// Recorded op trace: the mixed phase (all procs) then the quiescent
   /// drain (proc 0), in invocation order.
@@ -126,6 +132,8 @@ struct StressOptions {
   /// Batch width / elimination slots forwarded into every spec.
   u32 batch = 1;
   u32 elim = 0;
+  /// Forwarded into every spec (StressSpec::race_detect).
+  bool race_detect = false;
   bool minimize_failures = true;
   /// Stop sweeping after this many failures (each is minimized).
   u32 max_failures = 1;

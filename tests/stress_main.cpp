@@ -63,6 +63,8 @@ int usage(const char* argv0) {
       << "  --procs=N --ops=N --nprio=N --insert-pct=N --jitter=N   workload shape\n"
       << "  --batch=N            group ops into insert_batch/delete_min_batch calls\n"
       << "  --elim=N             PQ-level elimination slots for funnel queues (0=off)\n"
+      << "  --race-detect        attach the happens-before race detector and the\n"
+      << "                       lock-order checker to every scenario (DESIGN.md §10)\n"
       << "  --max-failures=N     stop after N minimized counterexamples (default 1)\n"
       << "  --no-minimize        report the first failure unshrunk\n"
       << "  --quiet              suppress per-combination progress\n"
@@ -111,6 +113,8 @@ int main(int argc, char** argv) {
         opt.elim = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg == "--race-detect") {
+        opt.race_detect = true;
       } else if (arg == "--no-minimize") {
         opt.minimize_failures = false;
       } else if (arg == "--quiet") {

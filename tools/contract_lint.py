@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Static enforcement of the Platform::Shared memory-ordering contract.
+
+The dynamic half of the contract lives in the simulator's race detector
+(src/sim/race_detector.hpp, DESIGN.md §10); this linter is the static
+half. It greps the algorithm layers for three contract violations that
+are cheap to catch at review time:
+
+  raw-atomic       `std::atomic` outside the platform layer. Algorithms
+                   must go through `Platform::Shared` so both backends —
+                   and the detector — see every access.
+
+  seq-cst          a sequentially-consistent access (explicit
+                   `MemOrder::kSeqCst` or an unsuffixed default like
+                   `.load()` / `.store(v)` / 2-arg `compare_exchange`)
+                   outside the files enumerated in the DESIGN.md §8.2
+                   exemption table. Seq_cst is reserved for
+                   store-buffering handshakes that are argued there.
+
+  unpadded-shared  a contiguous container of `Shared<T>` without the
+                   `Padded<>` wrapper (false-sharing audit, §8.4).
+                   Deliberately-contiguous arrays (lock-serialized data,
+                   bulk-transfer buffers) carry a waiver.
+
+A line is waived by a trailing or immediately-preceding comment:
+
+    // contract-lint: allow(<rule>) <reason>
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error. Run from the
+repository root (CI does) or pass --root. `--self-test` checks the rules
+against embedded positive/negative snippets and needs no repository.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Directories scanned for contract violations (relative to the repo root).
+SCAN_DIRS = ["src"]
+# The platform layer implements the contract and the bench support layer
+# measures the raw backend; both legitimately name std::atomic. The sim
+# layer (race detector) and common/ (the MemOrder enum itself) reason
+# *about* orders, so the seq-cst rule skips them too.
+RAW_ATOMIC_EXEMPT_DIRS = ["src/platform", "src/bench_support"]
+SEQ_CST_EXEMPT_DIRS = ["src/platform", "src/bench_support", "src/sim", "src/common"]
+
+DESIGN_DOC = "DESIGN.md"
+EXEMPTION_SECTION = "### 8.2"
+
+WAIVER_RE = re.compile(r"contract-lint:\s*allow\(([a-z-]+)\)")
+
+RAW_ATOMIC_RE = re.compile(r"\bstd::atomic\b|#\s*include\s*<atomic>")
+EXPLICIT_SEQ_CST_RE = re.compile(r"\bMemOrder::kSeqCst\b")
+# Unsuffixed Shared operations default to seq_cst (DESIGN.md §8.1):
+#   .load()  .store(v)  and RMWs whose argument list names no MemOrder.
+DEFAULT_LOAD_RE = re.compile(r"\.load\(\s*\)")
+DEFAULT_STORE_RE = re.compile(r"\.store\(")
+DEFAULT_RMW_RE = re.compile(r"\.(compare_exchange|fetch_add|fetch_sub|exchange)\(")
+# A contiguous container whose element type is Shared<...>; a Padded
+# wrapper anywhere on the line waives it (checked separately).
+UNPADDED_SHARED_RE = re.compile(
+    r"(?:vector|array)<[^;]*\bShared<|\bShared<[^<>;]*>\s*\[\s*\]"
+)
+
+
+def parse_exemptions(design_path: Path) -> set[str]:
+    """Files allowed to use seq_cst: the §8.2 table rows `| `path` | ... |`."""
+    try:
+        text = design_path.read_text(encoding="utf-8")
+    except OSError as e:
+        sys.exit(f"contract_lint: cannot read {design_path}: {e}")
+    start = text.find(EXEMPTION_SECTION)
+    if start < 0:
+        sys.exit(f"contract_lint: {design_path} has no '{EXEMPTION_SECTION}' section")
+    next_heading = text.find("\n### ", start + 1)
+    section = text[start : next_heading if next_heading > 0 else len(text)]
+    return set(re.findall(r"^\|\s*`([^`]+)`\s*\|", section, flags=re.MULTILINE))
+
+
+def waived(rule: str, lines: list[str], idx: int) -> bool:
+    for look in (idx, idx - 1):
+        if 0 <= look < len(lines):
+            m = WAIVER_RE.search(lines[look])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> list[str]:
+    findings = []
+
+    def finding(idx: int, rule: str, message: str) -> None:
+        if not waived(rule, lines, idx):
+            findings.append(f"{rel}:{idx + 1}: [{rule}] {message}")
+
+    raw_atomic_scanned = not any(rel.startswith(d + "/") for d in RAW_ATOMIC_EXEMPT_DIRS)
+    seq_cst_scanned = (
+        not any(rel.startswith(d + "/") for d in SEQ_CST_EXEMPT_DIRS)
+        and rel not in seq_cst_exempt_files
+    )
+
+    for idx, line in enumerate(lines):
+        code = line.split("//", 1)[0]
+        if raw_atomic_scanned and RAW_ATOMIC_RE.search(code):
+            finding(idx, "raw-atomic",
+                    "std::atomic outside src/platform — use Platform::Shared")
+        if seq_cst_scanned:
+            if EXPLICIT_SEQ_CST_RE.search(code):
+                finding(idx, "seq-cst",
+                        "explicit kSeqCst outside the DESIGN.md §8.2 exemption table")
+            if DEFAULT_LOAD_RE.search(code) or DEFAULT_STORE_RE.search(code):
+                finding(idx, "seq-cst",
+                        "unsuffixed load()/store() defaults to seq_cst; "
+                        "annotate or add the file to DESIGN.md §8.2")
+            else:
+                m = DEFAULT_RMW_RE.search(code)
+                if m:
+                    # The argument list may wrap; join continuation lines
+                    # until the parens balance (bounded lookahead).
+                    stmt, j = code, idx
+                    while (stmt.count("(") > stmt.count(")") and j + 1 < len(lines)
+                           and j - idx < 4):
+                        j += 1
+                        stmt += lines[j].split("//", 1)[0]
+                    if "MemOrder" not in stmt[m.end():]:
+                        finding(idx, "seq-cst",
+                                f"{m.group(1)} without an explicit MemOrder defaults "
+                                "to seq_cst; annotate or add the file to DESIGN.md §8.2")
+        if "Padded<" not in code and UNPADDED_SHARED_RE.search(code):
+            finding(idx, "unpadded-shared",
+                    "contiguous Shared<> container without Padded<> "
+                    "(false-sharing audit, DESIGN.md §8.4)")
+    return findings
+
+
+def run(root: Path) -> int:
+    exempt = parse_exemptions(root / DESIGN_DOC)
+    findings: list[str] = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            sys.exit(f"contract_lint: {base} is not a directory (wrong --root?)")
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in {".hpp", ".cpp", ".h", ".cc"}:
+                continue
+            rel = path.relative_to(root).as_posix()
+            lines = path.read_text(encoding="utf-8").splitlines()
+            findings.extend(lint_file(rel, lines, exempt))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"contract_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("contract_lint: clean")
+    return 0
+
+
+# ---- Self-test -------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule or None, file path, snippet)
+    ("raw-atomic", "src/pq/x.hpp", "std::atomic<int> a;"),
+    ("raw-atomic", "src/pq/x.hpp", "#include <atomic>"),
+    (None, "src/platform/native.hpp", "std::atomic<int> a;"),
+    (None, "src/pq/x.hpp",
+     "std::atomic<int> a; // contract-lint: allow(raw-atomic) measurement shim"),
+    ("seq-cst", "src/pq/x.hpp", "w.load();"),
+    ("seq-cst", "src/pq/x.hpp", "w.store(1);"),
+    ("seq-cst", "src/pq/x.hpp", "w.compare_exchange(a, b);"),
+    ("seq-cst", "src/pq/x.hpp", "w.fetch_add(1);"),
+    ("seq-cst", "src/pq/x.hpp", "MemOrder o = MemOrder::kSeqCst;"),
+    (None, "src/pq/x.hpp", "w.load_acquire();"),
+    (None, "src/pq/x.hpp", "w.store_relaxed(1);"),
+    (None, "src/pq/x.hpp", "w.fetch_add(1, MemOrder::kAcqRel);"),
+    (None, "src/pq/x.hpp",
+     "w.compare_exchange(a, b, MemOrder::kAcqRel, MemOrder::kRelaxed);"),
+    (None, "src/pq/exempt.hpp", "w.load();"),  # via exemption table below
+    (None, "src/sim/race_detector.hpp", "MemOrder o = MemOrder::kSeqCst;"),
+    ("unpadded-shared", "src/pq/x.hpp",
+     "std::vector<typename P::template Shared<u64>> v_;"),
+    ("unpadded-shared", "src/pq/x.hpp",
+     "std::array<typename P::template Shared<Link*>, kMax> next;"),
+    (None, "src/pq/x.hpp",
+     "std::vector<Padded<typename P::template Shared<u64>>> v_;"),
+    (None, "src/pq/x.hpp",
+     "std::unique_ptr<Padded<typename P::template Shared<u64>>[]> slots_;"),
+    (None, "src/pq/x.hpp",
+     "// waived below\n"
+     "std::vector<typename P::template Shared<u64>> v_; "
+     "// contract-lint: allow(unpadded-shared) lock-serialized"),
+]
+
+
+def self_test() -> int:
+    exempt = {"src/pq/exempt.hpp"}
+    failures = 0
+    for want_rule, rel, snippet in SELF_TEST_CASES:
+        findings = lint_file(rel, snippet.splitlines(), exempt)
+        got = findings[0].split("[")[1].split("]")[0] if findings else None
+        if got != want_rule:
+            print(f"self-test FAILED: {rel} {snippet!r}: want {want_rule}, got "
+                  f"{findings or 'clean'}", file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print(f"contract_lint: self-test passed ({len(SELF_TEST_CASES)} cases)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path, default=Path.cwd(),
+                    help="repository root (default: cwd)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded rule tests and exit")
+    args = ap.parse_args()
+    return self_test() if args.self_test else run(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
