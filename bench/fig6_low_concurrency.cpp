@@ -1,10 +1,13 @@
-// Figure 6: latency of all seven priority-queue implementations with 16
+// Figure 6: latency of all eight priority-queue implementations (the
+// paper's seven plus the beyond-the-paper lock-free skip list) with 16
 // priorities at low concurrency (1..16 processors). The paper's right-hand
 // close-up is the four low-latency columns of the same data.
 //
 // Expected shape: SingleLock and HuntEtAl grow linearly and are worst;
 // SkipList somewhat better; SimpleLinear lowest; LinearFunnels ~1.5-3x
-// SimpleLinear; FunnelTree close to SimpleTree.
+// SimpleLinear; FunnelTree close to SimpleTree. LockfreeSkiplist sits in
+// the SkipList band: no lock convoys, but delete-min still contends on
+// the list head.
 #include <iostream>
 
 #include "bench_support/measure.hpp"

@@ -107,11 +107,13 @@ void NativeBenchSuite::run_batched_case(
   for (u32 nt : opt_.threads) {
     rep(nt, std::max<u64>(opt_.ops / 4, 1)); // warmup, discarded
     std::vector<double> ops_per_sec;
+    std::vector<double> ns_per_op;
     u64 total_ops = 0;
     for (u32 r = 0; r < opt_.reps; ++r) {
       const RepMeasurement m = rep(nt, opt_.ops);
       total_ops = m.ops;
       ops_per_sec.push_back(m.seconds > 0 ? double(m.ops) / m.seconds : 0.0);
+      ns_per_op.push_back(m.ops > 0 ? m.seconds * 1e9 / double(m.ops) : 0.0);
     }
     NativeBenchResult res;
     res.bench = bench;
@@ -120,21 +122,26 @@ void NativeBenchSuite::run_batched_case(
     res.batch = batch;
     res.total_ops = total_ops;
     res.ops_per_sec = summarize_nonnegative(ops_per_sec);
+    res.ns_per_op = summarize_nonnegative(ns_per_op);
     results_.push_back(res);
-    std::fprintf(stderr, "  %-16s %-14s t=%-3u  %12.0f ops/s  [%0.f, %0.f]\n",
+    std::fprintf(stderr,
+                 "  %-16s %-14s t=%-3u  %12.0f ops/s  [%0.f, %0.f]  %8.1f ns/op\n",
                  bench.c_str(), algo.c_str(), nt, res.ops_per_sec.mean,
-                 res.ops_per_sec.ci95_lo, res.ops_per_sec.ci95_hi);
+                 res.ops_per_sec.ci95_lo, res.ops_per_sec.ci95_hi,
+                 res.ns_per_op.mean);
   }
 }
 
 int NativeBenchSuite::finish() {
   // Human table on stdout.
-  std::printf("%-16s %-14s %8s %14s %14s %14s %5s\n", "bench", "algo", "threads",
-              "ops/sec", "ci95_lo", "ci95_hi", "reps");
+  std::printf("%-16s %-14s %8s %14s %14s %14s %10s %10s %10s %5s\n", "bench",
+              "algo", "threads", "ops/sec", "ci95_lo", "ci95_hi", "ns/op",
+              "ns_lo", "ns_hi", "reps");
   for (const auto& r : results_)
-    std::printf("%-16s %-14s %8u %14.0f %14.0f %14.0f %5u\n", r.bench.c_str(),
-                r.algo.c_str(), r.threads, r.ops_per_sec.mean, r.ops_per_sec.ci95_lo,
-                r.ops_per_sec.ci95_hi, r.ops_per_sec.n);
+    std::printf("%-16s %-14s %8u %14.0f %14.0f %14.0f %10.1f %10.1f %10.1f %5u\n",
+                r.bench.c_str(), r.algo.c_str(), r.threads, r.ops_per_sec.mean,
+                r.ops_per_sec.ci95_lo, r.ops_per_sec.ci95_hi, r.ns_per_op.mean,
+                r.ns_per_op.ci95_lo, r.ns_per_op.ci95_hi, r.ops_per_sec.n);
 
   if (opt_.out.empty()) return 0;
   std::ofstream f(opt_.out);
@@ -144,7 +151,7 @@ int NativeBenchSuite::finish() {
   }
   JsonWriter w(f);
   w.begin_object();
-  w.field("schema", "fpq.native-bench.v1");
+  w.field("schema", "fpq.native-bench.v2");
   w.field("suite", suite_);
   w.key("build").begin_object();
 #ifdef FPQ_FORCE_SEQ_CST
@@ -185,6 +192,13 @@ int NativeBenchSuite::finish() {
     w.field("ci95_lo", r.ops_per_sec.ci95_lo);
     w.field("ci95_hi", r.ops_per_sec.ci95_hi);
     w.field("n", r.ops_per_sec.n);
+    w.end_object();
+    w.key("ns_per_op").begin_object();
+    w.field("mean", r.ns_per_op.mean);
+    w.field("sd", r.ns_per_op.sd);
+    w.field("ci95_lo", r.ns_per_op.ci95_lo);
+    w.field("ci95_hi", r.ns_per_op.ci95_hi);
+    w.field("n", r.ns_per_op.n);
     w.end_object();
     w.end_object();
   }

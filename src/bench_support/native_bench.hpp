@@ -4,14 +4,14 @@
 //   * sweeps an explicit thread-count list (CSV flag, oversubscription
 //     allowed — the spin escalation paths are part of what is measured),
 //   * re-creates the fixture for every repetition (no cross-rep warmth),
-//   * reports ops/sec with a 95% confidence interval over repetitions
-//     (bench_support/stats.hpp), and
-//   * writes the stable `fpq.native-bench.v1` JSON schema consumed by CI
+//   * reports ops/sec and ns/op with 95% confidence intervals over
+//     repetitions (bench_support/stats.hpp), and
+//   * writes the stable `fpq.native-bench.v2` JSON schema consumed by CI
 //     and by perf-tracking diffs (see README "Native benchmarks").
 //
 // Schema (one document per binary invocation):
 //   {
-//     "schema": "fpq.native-bench.v1",
+//     "schema": "fpq.native-bench.v2",
 //     "suite": "native_pq" | "native_components" | "native_batched",
 //     "build": { "force_seq_cst": bool, "compiler": str,
 //                "hardware_concurrency": int, "sanitizer": str },
@@ -22,13 +22,19 @@
 //                    "reps": int, "total_ops": int,
 //                    "ops_per_sec": { "mean": num, "sd": num,
 //                                     "ci95_lo": num, "ci95_hi": num,
-//                                     "n": int } }, ... ]
+//                                     "n": int },
+//                    "ns_per_op":   { same shape } }, ... ]
 //   }
 // config.oversubscribed is true when the sweep's largest thread count
 // exceeds the machine's hardware_concurrency — throughput numbers from
 // such a run measure scheduler multiplexing, not parallel speedup.
-// ops_per_sec.ci95_lo is clamped at 0 (throughput is nonnegative).
-// Additive changes bump the minor suffix (v1 -> v2); consumers must
+// Both metrics are nonnegative, so both CI bounds of both summaries are
+// clamped at 0 (summarize_nonnegative) — v1 clamped only ops_per_sec's
+// lower bound, which let the latency columns of the table output print
+// negative intervals. ns_per_op is aggregate per-operation wall latency
+// (wall seconds * 1e9 / total ops), the native analogue of the sim
+// benches' cycles/op.
+// Additive changes bump the minor suffix (v2 -> v3); consumers must
 // ignore unknown fields.
 #pragma once
 
@@ -67,6 +73,7 @@ struct NativeBenchResult {
   u32 batch = 0;         // 0 = point-op cell (no "batch" JSON field)
   u64 total_ops = 0;     // per repetition
   Summary ops_per_sec;   // over repetitions
+  Summary ns_per_op;     // aggregate wall latency per op, over repetitions
 };
 
 /// Time a NativePlatform::run section; returns wall seconds.

@@ -45,6 +45,13 @@ Summary summarize(const std::vector<double>& xs) {
 Summary summarize_nonnegative(const std::vector<double>& xs) {
   Summary s = summarize(xs);
   if (s.ci95_lo < 0.0) s.ci95_lo = 0.0;
+  // Clamp the upper bound too: latency deltas derived from coarse timers
+  // can go (slightly) negative rep-to-rep, and a sample that is mostly
+  // negative noise would otherwise print a fully negative interval in the
+  // bench tables while the lower bound reads 0 — worse than inconsistent,
+  // it inverts the interval (hi < lo). Both bounds live in the metric's
+  // domain; the invariant is ci95_lo <= max(mean, 0) and ci95_lo <= ci95_hi.
+  if (s.ci95_hi < 0.0) s.ci95_hi = 0.0;
   return s;
 }
 

@@ -47,9 +47,13 @@ struct Summary {
 Summary summarize(const std::vector<double>& xs);
 
 /// summarize() for metrics that cannot be negative (throughput, latency):
-/// clamps ci95_lo at 0, since Student's t intervals on tiny high-variance
-/// samples otherwise dip below the metric's domain (mean stays inside the
-/// interval because it is itself nonnegative).
+/// clamps BOTH ci95_lo and ci95_hi at 0, since Student's t intervals on
+/// tiny high-variance samples otherwise dip below the metric's domain.
+/// For nonnegative inputs only the lower bound can go negative; clamping
+/// the upper bound as well keeps the interval well-formed (lo <= hi) even
+/// for timer-skew latency deltas whose samples dip below zero. mean/sd are
+/// reported unclamped — they describe the sample, the interval describes
+/// the metric.
 Summary summarize_nonnegative(const std::vector<double>& xs);
 
 /// "12.7" style thousands-of-cycles formatting used by the paper's Fig. 8.

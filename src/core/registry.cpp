@@ -14,6 +14,7 @@ std::string_view to_string(Algorithm a) {
     case Algorithm::kSimpleTree: return "SimpleTree";
     case Algorithm::kLinearFunnels: return "LinearFunnels";
     case Algorithm::kFunnelTree: return "FunnelTree";
+    case Algorithm::kLockfreeSkipList: return "LockfreeSkiplist";
   }
   return "?";
 }
@@ -29,7 +30,7 @@ const std::vector<Algorithm>& all_algorithms() {
   static const std::vector<Algorithm> all = {
       Algorithm::kSingleLock,   Algorithm::kHuntEtAl,      Algorithm::kSkipList,
       Algorithm::kSimpleLinear, Algorithm::kSimpleTree,    Algorithm::kLinearFunnels,
-      Algorithm::kFunnelTree,
+      Algorithm::kFunnelTree,   Algorithm::kLockfreeSkipList,
   };
   return all;
 }

@@ -1,6 +1,7 @@
-// Algorithm registry: the seven queue algorithms the paper evaluates, a
-// name table, and a type-erased factory so benchmarks and examples can be
-// written once and swept over algorithms and platforms.
+// Algorithm registry: the seven queue algorithms the paper evaluates plus
+// the Linden/Jonsson-style lock-free skiplist extension, a name table, and
+// a type-erased factory so benchmarks and examples can be written once and
+// swept over algorithms and platforms.
 #pragma once
 
 #include <memory>
@@ -10,6 +11,7 @@
 #include "pq/funnel_tree_pq.hpp"
 #include "pq/hunt_pq.hpp"
 #include "pq/linear_funnels_pq.hpp"
+#include "pq/lockfree_skiplist_pq.hpp"
 #include "pq/pq.hpp"
 #include "pq/simple_linear_pq.hpp"
 #include "pq/simple_tree_pq.hpp"
@@ -26,6 +28,7 @@ enum class Algorithm {
   kSimpleTree,
   kLinearFunnels,
   kFunnelTree,
+  kLockfreeSkipList,
 };
 
 /// Paper-faithful display names.
@@ -34,7 +37,8 @@ std::string_view to_string(Algorithm a);
 /// Parses a display name (case-sensitive); throws std::invalid_argument.
 Algorithm algorithm_from_string(std::string_view name);
 
-/// All seven, in the paper's presentation order.
+/// All eight: the paper's seven in presentation order, then the lock-free
+/// skiplist extension.
 const std::vector<Algorithm>& all_algorithms();
 
 /// The four algorithms the paper carries into its high-concurrency
@@ -65,6 +69,8 @@ std::unique_ptr<IPriorityQueue<P>> make_priority_queue(Algorithm a,
       return std::make_unique<PqAdapter<P, LinearFunnelsPq<P>>>(params, opts);
     case Algorithm::kFunnelTree:
       return std::make_unique<PqAdapter<P, FunnelTreePq<P>>>(params, opts);
+    case Algorithm::kLockfreeSkipList:
+      return std::make_unique<PqAdapter<P, LockfreeSkipListPq<P>>>(params);
   }
   FPQ_ASSERT_MSG(false, "unknown algorithm");
   return nullptr;

@@ -1,0 +1,383 @@
+// Lock-free skiplist priority queue in the style of Lindén & Jonsson
+// (OPODIS 2013): delete_min marks (logically deletes) nodes with a single
+// CAS on the predecessor's bottom-level pointer and defers all physical
+// unlinking; marked nodes accumulate as a *deleted prefix* at the front of
+// the bottom-level list, and one restructuring pass per ~bound deletions
+// swings the list head past the whole prefix at once — the "logically-
+// deleted prefix batching" that removes the delete-min unlink storm from
+// the hot path. Nodes leave memory through reclaim::Domain (hazard
+// pointers or epochs, runtime-selected via PqParams::reclaim_policy).
+//
+// ## Word format
+//
+// Every next[] word packs a node pointer with two low tag bits:
+//
+//   kMarkBit   (on u->next[0]) — the node u->next[0] POINTS TO is
+//              logically deleted. Marks are claimed by the deleting CAS
+//              (w -> w|kMarkBit) and, because inserts always CAS against
+//              an unmarked expected word and claims always target the
+//              first live node, marked words form a contiguous prefix of
+//              the bottom-level chain.
+//   kPoisonBit (all levels) — the word's OWNER is being retired by the
+//              restructurer; any traversal that reads a poisoned word
+//              backs off (P::pause) and restarts from the head. The
+//              restart is bounded: the restructurer unlinks the poisoned
+//              node from every level in a constant number of its own
+//              steps, after which no fresh traversal can reach it. The
+//              pause is load-bearing, not a nicety — a poisoned word
+//              never changes again, so a pause-less restart loop re-reads
+//              only cache-hit words and (under the simulator's hit-elision
+//              scheduling, engine.cpp) would never yield the processor
+//              that must run the restructurer. Same doctrine as the
+//              contention-aware spinning contract in DESIGN.md §8.
+//
+// ## Safety of the deferred unlink (the part the reclaim battery tortures)
+//
+// Traversals run hand-over-hand under a reclaim::Guard: each hop validates
+// the predecessor's word while publishing protection for the successor.
+// The restructurer processes its unlinked prefix in chain order — for each
+// node u: wait out any in-flight insert (Node::state), then retire each
+// upper level with a two-phase, Harris-style handshake:
+//
+//   phase 1 (poison_preserving) — CAS the poison bit into u's OWN level
+//   word while PRESERVING the successor pointer. From this point every
+//   splice CAS that uses u as a predecessor fails (expected words are
+//   clean), so no new pointer can be installed *out of* u; splices that
+//   still hold u as the expected *successor* remain possible and benign.
+//
+//   phase 2 (unlink_upper) — identity-walk from the head to u's current
+//   predecessor and CAS u out, installing u's preserved successor. The
+//   successor is re-read after the poison point, so a splice that landed
+//   just before phase 1 is carried over, and a splice that lands on the
+//   predecessor concurrently simply makes the walk retry against the new
+//   predecessor. Without phase 1 an insert could splice onto u in the
+//   unlink-to-retire window and orphan the new node on a freed tower.
+//
+// Only after every upper level is unlinked does the bottom word get
+// poisoned (seq_cst) and the node retired. Under hazard pointers this
+// gives the store-buffering argument (DESIGN.md §8.2): a reader's
+// validating load either observes the poison (it restarts) or precedes it
+// in the SC order — and since poisoning a node precedes retiring every
+// LATER chain node, the reader's already-published hazard is visible to
+// any scan that could free its successor. Under epochs the guard's pin
+// makes every node retired during the traversal ineligible for
+// reclamation until the guard exits.
+//
+// Insert raises the tower level by level after the bottom splice; a node
+// deleted mid-insert can meet the restructurer, which must not retire it
+// while splices are still landing — Node::state (0 = raising, 1 = fully
+// linked) is the wait flag. The restructurer never blocks the inserter
+// (inserts never wait on the restructure flag), so the wait is bounded.
+//
+// Semantics: linearizable delete_min (the claiming CAS is the
+// linearization point; it always claims the first live node) and exact
+// per-operation minimality in the quiescent sense of Appendix B. The
+// quiescent phase-rank checks apply in full (unlike SkipListPq's
+// delete-bin scheme).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/entry.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "pq/pq.hpp"
+#include "reclaim/reclaim.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class LockfreeSkipListPq {
+  template <class T>
+  using Shared = typename P::template Shared<T>;
+
+ public:
+  static constexpr u32 kMaxHeight = 12;
+
+  explicit LockfreeSkipListPq(const PqParams& params)
+      : npriorities_(params.npriorities),
+        // Small under the simulator so schedule exploration and the
+        // sequential suites exercise restructuring constantly; sized to
+        // amortize the flag + level walks natively.
+        restructure_bound_(P::kSimulated ? 4 : 16 + 4 * params.maxprocs),
+        domain_(params.maxprocs, domain_options(params)) {
+    params.validate();
+    head_ = new Node(0, 0, kMaxHeight);
+    tail_ = new Node(npriorities_, 0, kMaxHeight);
+    head_->state.store_relaxed(1); // sentinels are never "being inserted"
+    tail_->state.store_relaxed(1);
+    for (u32 l = 0; l < kMaxHeight; ++l) head_->next[l].store_relaxed(pack(tail_));
+  }
+
+  ~LockfreeSkipListPq() {
+    // Quiescent teardown: everything still linked at the bottom level (live
+    // nodes plus the not-yet-restructured deleted prefix) is owned by the
+    // list; retired nodes were unlinked first, so the sets are disjoint and
+    // the domain's destructor frees the latter.
+    Node* cur = ptr(head_->next[0].load_acquire());
+    while (cur != tail_) {
+      Node* nxt = ptr(cur->next[0].load_acquire());
+      delete cur; // contract-lint: allow(naked-reclaim) quiescent owner teardown
+      cur = nxt;
+    }
+    delete head_; // contract-lint: allow(naked-reclaim) quiescent owner teardown
+    delete tail_; // contract-lint: allow(naked-reclaim) quiescent owner teardown
+  }
+
+  LockfreeSkipListPq(const LockfreeSkipListPq&) = delete;
+  LockfreeSkipListPq& operator=(const LockfreeSkipListPq&) = delete;
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    u32 h = 1;
+    while (h < kMaxHeight && P::flip()) ++h;
+    Node* n = new Node(prio, item, h);
+    reclaim::Guard<P> g(domain_);
+    Node* preds[kMaxHeight];
+    u64 succs[kMaxHeight];
+    for (;;) {
+      search(g, prio, preds, succs);
+      // Pre-publication store; the splice CAS below releases it.
+      n->next[0].store_relaxed(succs[0]);
+      u64 expect = succs[0]; // search guarantees an unmarked, unpoisoned word
+      if (preds[0]->next[0].compare_exchange(expect, pack(n), MemOrder::kRelease,
+                                             MemOrder::kRelaxed)) {
+        break;
+      }
+    }
+    // Raise the tower. A poisoned or moved pred word simply fails the CAS
+    // (expected is clean) and we re-search; correctness never depends on a
+    // node being present above level 0, so lost upper splices are benign.
+    for (u32 l = 1; l < h; ++l) {
+      for (;;) {
+        n->next[l].store_release(succs[l]);
+        u64 expect = succs[l];
+        if (preds[l]->next[l].compare_exchange(expect, pack(n), MemOrder::kRelease,
+                                               MemOrder::kRelaxed)) {
+          break;
+        }
+        search(g, prio, preds, succs);
+      }
+    }
+    n->state.store_release(1); // the restructurer may now unlink/retire n
+    return true;
+  }
+
+  std::optional<Entry> delete_min() {
+    reclaim::Guard<P> g(domain_);
+  restart:
+    Node* pred = head_;
+    g.protect_value(kSlotPred, pack(head_));
+    u64 w = g.protect(kSlotCur, pred->next[0]);
+    u32 offset = 0;
+    for (;;) {
+      if (poisoned(w)) {
+        P::pause(); // see the kPoisonBit comment: backoff keeps this bounded
+        goto restart;
+      }
+      Node* x = ptr(w);
+      if (x == tail_) return std::nullopt; // no live node (prefix is deleted)
+      if (marked(w)) {
+        // Hop over the deleted prefix, hand-over-hand.
+        ++offset;
+        g.protect_value(kSlotPred, pack(x));
+        pred = x;
+        w = g.protect(kSlotCur, pred->next[0]);
+        continue;
+      }
+      u64 expect = w;
+      if (pred->next[0].compare_exchange(expect, w | kMarkBit, MemOrder::kAcqRel,
+                                         MemOrder::kRelaxed)) {
+        // Claimed the first live node: the linearization point.
+        ++offset;
+        const Entry e{static_cast<Prio>(x->key), x->item};
+        if (offset > restructure_bound_) restructure(g, x);
+        return e;
+      }
+      if (poisoned(expect)) {
+        P::pause();
+        goto restart;
+      }
+      // Lost to an insert in front of us or to another claim; re-protect
+      // the new successor and retry from the same pred.
+      w = g.protect(kSlotCur, pred->next[0]);
+    }
+  }
+
+  u32 npriorities() const { return npriorities_; }
+
+  /// Reclamation accounting, surfaced for the torture tests.
+  reclaim::DomainStats reclaim_stats() const { return domain_.stats(); }
+
+ private:
+  static constexpr u64 kMarkBit = 1;
+  static constexpr u64 kPoisonBit = 2;
+  static constexpr u64 kTagMask = kMarkBit | kPoisonBit;
+
+  // Hazard slots: one per level for the search's preds, plus the traversal
+  // cursor pair (pred, cur) for hand-over-hand hops.
+  static constexpr u32 kSlotPred = kMaxHeight;
+  static constexpr u32 kSlotCur = kMaxHeight + 1;
+  static constexpr u32 kSlots = kMaxHeight + 2;
+
+  struct Node {
+    const u64 key;
+    const u64 item;
+    const u32 height;
+    /// 0 while the insert is still raising the tower; 1 once fully linked.
+    Shared<u32> state;
+    // One tower is traversed as a unit by a single hop; padding it would
+    // multiply the node size by the height.
+    // contract-lint: allow(unpadded-shared) tower is a unit, see above
+    std::array<Shared<u64>, kMaxHeight> next;
+    Node(u64 k, u64 it, u32 h) : key(k), item(it), height(h) {}
+  };
+
+  static Node* ptr(u64 w) { return reinterpret_cast<Node*>(w & ~kTagMask); }
+  static u64 pack(Node* n) { return reinterpret_cast<u64>(n); }
+  static bool marked(u64 w) { return (w & kMarkBit) != 0; }
+  static bool poisoned(u64 w) { return (w & kPoisonBit) != 0; }
+
+  static reclaim::DomainOptions domain_options(const PqParams& p) {
+    reclaim::DomainOptions o;
+    o.policy = p.reclaim_policy;
+    o.slots_per_proc = kSlots;
+    o.tag_mask = kTagMask;
+    return o;
+  }
+
+  /// Find, per level, the last node with key <= `key` among live nodes
+  /// (the bottom level additionally skips the whole deleted prefix, whose
+  /// keys are no longer ordered relative to the live suffix). On return
+  /// preds[l] is protected by slot l and succs[l] is the clean word that
+  /// followed it; succs[0] is always unmarked and unpoisoned, so it is a
+  /// valid CAS-expected value for a splice.
+  void search(reclaim::Guard<P>& g, u64 key, Node** preds, u64* succs) {
+  restart:
+    Node* pred = head_;
+    g.protect_value(kSlotPred, pack(head_));
+    for (i32 l = kMaxHeight - 1; l >= 0; --l) {
+      u64 w = g.protect(kSlotCur, pred->next[static_cast<u32>(l)]);
+      for (;;) {
+        if (poisoned(w)) {
+          P::pause(); // see the kPoisonBit comment: backoff keeps this bounded
+          goto restart;
+        }
+        Node* cur = ptr(w);
+        const bool advance = cur != tail_ && (marked(w) || cur->key <= key);
+        if (!advance) break;
+        g.protect_value(kSlotPred, pack(cur));
+        pred = cur;
+        w = g.protect(kSlotCur, pred->next[static_cast<u32>(l)]);
+      }
+      preds[l] = pred;
+      succs[l] = w;
+      g.protect_value(static_cast<u32>(l), pack(pred));
+    }
+  }
+
+  /// Physically remove the deleted prefix strictly before `boundary` (the
+  /// node the calling delete_min just claimed, which becomes the new front
+  /// dummy). Serialized by restructuring_; only the flag holder retires
+  /// nodes, so its own walks need no per-hop hazards.
+  void restructure(reclaim::Guard<P>& g, Node* boundary) {
+    u32 expect_flag = 0;
+    if (!restructuring_.value.compare_exchange(expect_flag, 1, MemOrder::kAcqRel,
+                                               MemOrder::kRelaxed))
+      return;
+    // Collect the prefix. If an earlier restructure already swung the head
+    // past `boundary`, the walk ends on an unmarked word without finding
+    // it and we do nothing.
+    std::vector<Node*> prefix;
+    bool found = false;
+    const u64 first_w = head_->next[0].load_acquire();
+    u64 w = first_w;
+    while (marked(w)) {
+      Node* u = ptr(w);
+      if (u == boundary) {
+        found = true;
+        break;
+      }
+      prefix.push_back(u);
+      w = u->next[0].load_acquire();
+    }
+    if (found && !prefix.empty()) {
+      // Swing the head past the prefix. The head's bottom word is stable
+      // while the prefix is nonempty — inserts and claims need an unmarked
+      // expected value and other restructurers are excluded by the flag —
+      // so this CAS cannot lose.
+      u64 expect_w = first_w;
+      const bool swung = head_->next[0].compare_exchange(
+          expect_w, pack(boundary) | kMarkBit, MemOrder::kAcqRel, MemOrder::kRelaxed);
+      FPQ_ASSERT_MSG(swung, "head word moved while the restructure flag was held");
+      for (Node* u : prefix) {
+        // Wait out an in-flight insert still raising u's tower (bounded:
+        // inserters never wait on the restructure flag).
+        P::spin_until(u->state, [](u32 s) { return s == 1; });
+        // Two-phase per-level retirement; see the file comment.
+        for (u32 l = 1; l < u->height; ++l) {
+          poison_preserving(u, l);
+          unlink_upper(u, l);
+        }
+        // Bottom level: the head swing already unlinked the whole prefix,
+        // and the mark bit makes the word un-CAS-able for inserts and
+        // claims, so a plain poison (seq_cst, §8.2) is enough here.
+        u->next[0].store(kPoisonBit);
+        g.retire(u);
+      }
+    }
+    restructuring_.value.store_release(0);
+  }
+
+  /// Phase 1 of the two-phase level retirement: set the poison bit on
+  /// u's own level-l word while keeping the successor pointer intact.
+  /// seq_cst CAS: this is the store whose visibility the hazard-pointer
+  /// validating load races against (DESIGN.md §8.2).
+  void poison_preserving(Node* u, u32 l) {
+    u64 w = u->next[l].load();
+    for (;;) {
+      FPQ_ASSERT_MSG(!poisoned(w), "level poisoned twice");
+      u64 expect = w;
+      if (u->next[l].compare_exchange(expect, w | kPoisonBit)) return;
+      w = expect; // an insert spliced a successor after u; re-poison over it
+    }
+  }
+
+  /// Phase 2: remove `u` from level l's list by identity walk from the
+  /// head. The deleted prefix is unordered relative to the live suffix,
+  /// so a key-guided walk could stop early; levels are short (geometric),
+  /// and this runs once per restructured node per level.
+  void unlink_upper(Node* u, u32 l) {
+    for (;;) {
+      Node* pred = head_;
+      u64 w = pred->next[l].load_acquire();
+      while (ptr(w) != u) {
+        if (ptr(w) == tail_ || poisoned(w)) return; // never spliced, or gone
+        pred = ptr(w);
+        w = pred->next[l].load_acquire();
+      }
+      // u's word is already poisoned (phase 1); install the pointer part,
+      // re-read after the poison so a just-landed splice is carried over.
+      const u64 s = pack(ptr(u->next[l].load_acquire()));
+      u64 expect = w;
+      if (pred->next[l].compare_exchange(expect, s, MemOrder::kRelease,
+                                         MemOrder::kRelaxed)) {
+        return;
+      }
+      // Lost to an insert splicing at pred; rewalk against the new pred.
+    }
+  }
+
+  u32 npriorities_;
+  u32 restructure_bound_;
+  reclaim::Domain<P> domain_;
+  Node* head_;
+  Node* tail_;
+  Padded<Shared<u32>> restructuring_;
+};
+
+} // namespace fpq

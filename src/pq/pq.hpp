@@ -27,6 +27,7 @@
 #include "common/entry.hpp"
 #include "common/types.hpp"
 #include "platform/platform.hpp"
+#include "reclaim/policy.hpp"
 
 namespace fpq {
 
@@ -43,6 +44,9 @@ struct PqParams {
   u32 heap_capacity = 1u << 16;
   /// Seed for structure-construction randomness (skip-list levels).
   u64 seed = 1;
+  /// Memory-reclamation policy for the dynamically-allocated queues
+  /// (LockfreeSkiplist); the array-based queues ignore it.
+  reclaim::Policy reclaim_policy = reclaim::Policy::kHazardPointer;
   /// Largest batch the funnel queues aggregate in one traversal; larger
   /// insert_batch/delete_min_batch requests are chunked. Sizes the
   /// per-record funnel buffers, so the default keeps the point-operation

@@ -1,0 +1,152 @@
+// Epoch-based reclamation (Fraser 2004): a reader pins the global epoch
+// for the duration of its critical section; a retired node is freed only
+// once the global epoch has advanced twice past its retirement epoch, at
+// which point every reader that could have held a reference has unpinned.
+//
+// Grace argument: a pinned reader at epoch e blocks the advance e -> e+1,
+// so while it is active the global epoch is at most e+1. A node retired at
+// epoch r is freed only when the global epoch reaches r+2; any reader that
+// could hold a reference was pinned at some e <= r (pins never exceed the
+// global epoch and the node was unlinked before retirement), and e+1 < r+2
+// means that reader has since unpinned.
+//
+// ## Why pin / advance are seq_cst (DESIGN.md §8.2)
+//
+// Pin and advance race in a store-buffering shape: the reader stores its
+// local epoch word then re-loads the global epoch, while the advancer
+// CASes the global epoch then scans the local words. Seq_cst guarantees
+// the reader observes the new epoch (and re-pins) or the advancer observes
+// the pin (and refuses to advance); with weaker orders both can miss and a
+// node is freed under a still-pinned reader.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq::reclaim {
+
+template <Platform P>
+class EpochDomain {
+  template <class T>
+  using Shared = typename P::template Shared<T>;
+
+ public:
+  EpochDomain(u32 maxprocs, u32 scan_threshold)
+      : maxprocs_(maxprocs),
+        scan_threshold_(std::max(1u, scan_threshold)),
+        locals_(maxprocs),
+        procs_(maxprocs) {
+    FPQ_ASSERT_MSG(maxprocs >= 1, "epoch domain sizing");
+    global_.value.store_relaxed(kFirstEpoch); // pre-publication: no readers yet
+  }
+
+  ~EpochDomain() {
+    flush();
+    FPQ_ASSERT_MSG(in_limbo() == 0,
+                   "epoch domain destroyed with pinned readers still blocking limbo "
+                   "(a Guard outlived its Domain?)");
+  }
+
+  void pin(ProcId self) {
+    Shared<u64>& local = local_ref(self);
+    u64 e = global_.value.load(); // seq_cst: store-buffering handshake with advance
+    for (;;) {
+      local.store((e << 1) | 1); // seq_cst publish of the pin
+      const u64 e2 = global_.value.load(); // seq_cst re-validate
+      if (e2 == e) return;
+      e = e2;
+    }
+  }
+
+  void unpin(ProcId self) { local_ref(self).store_release(0); }
+
+  void retire(ProcId self, void* p, void (*deleter)(void*)) {
+    Proc& pr = procs_[self].value;
+    pr.limbo.push_back({p, deleter, global_.value.load()});
+    ++pr.retired;
+    if (pr.limbo.size() >= scan_threshold_) {
+      try_advance();
+      reclaim(pr);
+    }
+  }
+
+  /// Quiescent-only: with no pins active, two advances make every limbo
+  /// entry eligible; a third covers an entry retired mid-flush by a
+  /// deleter (none today — defensive).
+  void flush() {
+    for (int i = 0; i < 3; ++i) try_advance();
+    for (auto& pp : procs_) reclaim(pp.value);
+  }
+
+  u64 retired() const { return sum(&Proc::retired); }
+  u64 reclaimed() const { return sum(&Proc::reclaimed); }
+  u64 in_limbo() const {
+    u64 n = 0;
+    for (const auto& pp : procs_) n += pp.value.limbo.size();
+    return n;
+  }
+
+ private:
+  // Starting above 0 keeps `epoch + 2 <= global` free of underflow edges.
+  static constexpr u64 kFirstEpoch = 2;
+
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+    u64 epoch;
+  };
+  struct Proc {
+    std::vector<Retired> limbo;
+    u64 retired = 0;
+    u64 reclaimed = 0;
+  };
+
+  Shared<u64>& local_ref(ProcId self) {
+    FPQ_ASSERT_MSG(self < maxprocs_, "processor outside the epoch domain");
+    return locals_[self].value;
+  }
+
+  void try_advance() {
+    const u64 e = global_.value.load();
+    for (u32 i = 0; i < maxprocs_; ++i) {
+      const u64 l = locals_[i].value.load(); // seq_cst: the scan side
+      if ((l & 1) != 0 && (l >> 1) != e) return; // pinned in an older epoch
+    }
+    u64 expect = e;
+    global_.value.compare_exchange(expect, e + 1); // seq_cst; failure = someone advanced
+  }
+
+  void reclaim(Proc& pr) {
+    if (pr.limbo.empty()) return;
+    const u64 e = global_.value.load();
+    std::vector<Retired> keep;
+    for (const Retired& r : pr.limbo) {
+      if (r.epoch + 2 <= e) {
+        r.deleter(r.p);
+        ++pr.reclaimed;
+      } else {
+        keep.push_back(r);
+      }
+    }
+    pr.limbo.swap(keep);
+  }
+
+  u64 sum(u64 Proc::* field) const {
+    u64 n = 0;
+    for (const auto& pp : procs_) n += pp.value.*field;
+    return n;
+  }
+
+  u32 maxprocs_;
+  u32 scan_threshold_;
+  Padded<Shared<u64>> global_; // padded: every pin/advance hits this word
+  std::vector<Padded<Shared<u64>>> locals_;
+  std::vector<Padded<Proc>> procs_;
+};
+
+} // namespace fpq::reclaim

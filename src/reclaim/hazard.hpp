@@ -1,0 +1,152 @@
+// Hazard-pointer reclamation (Michael 2004), shaped after the peek /
+// promote idiom of jonatanlinden/prioq (SNIPPETS.md Snippet 3): a reader
+// *peeks* a candidate pointer, publishes it to one of its hazard slots,
+// then re-validates the source word; a validated candidate may later be
+// *promoted* (copied) into another slot without re-validation, which is
+// what makes hand-over-hand traversals cheap.
+//
+// ## Why the handshake is seq_cst (DESIGN.md §8.2)
+//
+// Protect and retire race in a store-buffering shape that release/acquire
+// cannot close: the reader stores its hazard slot then re-loads the source
+// word, while the reclaimer unlinks/poisons the node (a store) then scans
+// the hazard slots (loads). With all four accesses seq_cst, either the
+// reader's validating load observes the unlink (it restarts and never
+// touches the node) or the reclaimer's scan observes the hazard (it defers
+// the free). With anything weaker both can miss, and the reader holds a
+// pointer the scan is about to free — exactly the use-after-reclaim the
+// torture tests inject (tests/test_reclaim.cpp) and the deliberately
+// under-annotated fixture demonstrates to the race detector.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq::reclaim {
+
+template <Platform P>
+class HazardDomain {
+  template <class T>
+  using Shared = typename P::template Shared<T>;
+
+ public:
+  HazardDomain(u32 maxprocs, u32 slots_per_proc, u32 scan_threshold, u64 tag_mask)
+      : maxprocs_(maxprocs),
+        slots_per_proc_(slots_per_proc),
+        scan_threshold_(std::max(1u, scan_threshold)),
+        tag_mask_(tag_mask),
+        slots_(static_cast<std::size_t>(maxprocs) * slots_per_proc),
+        procs_(maxprocs) {
+    FPQ_ASSERT_MSG(maxprocs >= 1 && slots_per_proc >= 1 && slots_per_proc <= 64,
+                   "hazard domain sizing (Guard tracks slots in a 64-bit mask)");
+  }
+
+  ~HazardDomain() {
+    flush();
+    FPQ_ASSERT_MSG(in_limbo() == 0,
+                   "hazard domain destroyed with protected nodes still in limbo "
+                   "(a Guard outlived its Domain?)");
+  }
+
+  /// Peek: read `src`, announce the (tag-stripped) pointer, and re-read
+  /// until the announcement provably preceded any retirement scan. Returns
+  /// the validated word, tag bits included.
+  u64 protect(ProcId self, u32 slot, const Shared<u64>& src) {
+    Shared<u64>& h = slot_ref(self, slot);
+    u64 w = src.load(); // seq_cst: store-buffering handshake with scan()
+    for (;;) {
+      h.store(w & ~tag_mask_); // seq_cst publish
+      const u64 w2 = src.load(); // seq_cst validate
+      if (w2 == w) return w;
+      w = w2;
+    }
+  }
+
+  /// Promote: publish a word whose pointer is already protected (by
+  /// another slot, or by ownership). No validation needed — the pointer
+  /// cannot be freed while the existing protection overlaps this store.
+  void protect_value(ProcId self, u32 slot, u64 w) {
+    slot_ref(self, slot).store(w & ~tag_mask_); // seq_cst publish
+  }
+
+  void clear(ProcId self, u32 slot) { slot_ref(self, slot).store_release(0); }
+
+  void retire(ProcId self, void* p, void (*deleter)(void*)) {
+    Proc& pr = procs_[self].value;
+    pr.limbo.push_back({p, deleter});
+    ++pr.retired;
+    if (pr.limbo.size() >= scan_threshold_) scan(pr);
+  }
+
+  /// Quiescent-only: scan every processor's limbo list once. Anything
+  /// still protected stays (the destructor asserts nothing is).
+  void flush() {
+    for (auto& pp : procs_) scan(pp.value);
+  }
+
+  u64 retired() const { return sum(&Proc::retired); }
+  u64 reclaimed() const { return sum(&Proc::reclaimed); }
+  u64 in_limbo() const {
+    u64 n = 0;
+    for (const auto& pp : procs_) n += pp.value.limbo.size();
+    return n;
+  }
+
+ private:
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+  struct Proc {
+    std::vector<Retired> limbo;
+    u64 retired = 0;
+    u64 reclaimed = 0;
+  };
+
+  Shared<u64>& slot_ref(ProcId self, u32 slot) {
+    FPQ_ASSERT_MSG(self < maxprocs_ && slot < slots_per_proc_,
+                   "hazard slot outside the domain");
+    return slots_[static_cast<std::size_t>(self) * slots_per_proc_ + slot].value;
+  }
+
+  void scan(Proc& pr) {
+    if (pr.limbo.empty()) return;
+    std::vector<u64> hazards;
+    hazards.reserve(slots_.size());
+    for (auto& s : slots_) {
+      const u64 v = s.value.load(); // seq_cst: the scan side of the handshake
+      if (v != 0) hazards.push_back(v);
+    }
+    std::vector<Retired> keep;
+    for (const Retired& r : pr.limbo) {
+      const u64 addr = reinterpret_cast<u64>(r.p);
+      if (std::find(hazards.begin(), hazards.end(), addr) != hazards.end()) {
+        keep.push_back(r);
+      } else {
+        r.deleter(r.p);
+        ++pr.reclaimed;
+      }
+    }
+    pr.limbo.swap(keep);
+  }
+
+  u64 sum(u64 Proc::* field) const {
+    u64 n = 0;
+    for (const auto& pp : procs_) n += pp.value.*field;
+    return n;
+  }
+
+  u32 maxprocs_;
+  u32 slots_per_proc_;
+  u32 scan_threshold_;
+  u64 tag_mask_;
+  std::vector<Padded<Shared<u64>>> slots_;
+  std::vector<Padded<Proc>> procs_;
+};
+
+} // namespace fpq::reclaim

@@ -71,7 +71,7 @@ std::string to_line(const StressSpec& s) {
      << " nprio=" << s.npriorities << " ins=" << s.insert_percent
      << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
      << " jitter=" << s.access_jitter << " batch=" << s.batch << " elim=" << s.elim
-     << " lin=" << (s.check_lin ? 1 : 0) << " race=" << (s.race_detect ? 1 : 0);
+     << " reclaim=" << reclaim::to_string(s.reclaim) << " lin=" << (s.check_lin ? 1 : 0) << " race=" << (s.race_detect ? 1 : 0);
   return os.str();
 }
 
@@ -118,6 +118,8 @@ StressSpec spec_from_line(const std::string& line) {
       s.batch = static_cast<u32>(std::stoul(val));
     } else if (key == "elim") {
       s.elim = static_cast<u32>(std::stoul(val));
+    } else if (key == "reclaim") {
+      s.reclaim = reclaim::policy_from_string(val);
     } else if (key == "lin") {
       s.check_lin = val != "0";
     } else if (key == "race") {
@@ -158,6 +160,7 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
                   .bin_capacity = 1u << 13};
   params.seed = spec.seed;
   params.max_batch = spec.batch;
+  params.reclaim_policy = spec.reclaim;
   auto pq = make(params);
   HistoryRecorder rec(spec.nprocs);
   std::vector<std::vector<Entry>> ins(spec.nprocs), del(spec.nprocs);
@@ -372,6 +375,7 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.insert_percent = opt.insert_percent;
       spec.batch = opt.batch;
       spec.elim = opt.elim;
+      spec.reclaim = opt.reclaim;
       spec.race_detect = opt.race_detect;
       // The baseline policy stays jitter-free: it is the paper's
       // measurement schedule, kept as the known-good reference point.
@@ -383,9 +387,12 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
         sweep_one(spec);
         if (failures.size() >= opt.max_failures) break;
       }
-      // SingleLock holds one lock across whole operations: the paper's one
-      // unconditional linearizability guarantee, checked on small histories.
-      if (algo == Algorithm::kSingleLock && failures.size() < opt.max_failures) {
+      // SingleLock holds one lock across whole operations (the paper's one
+      // unconditional guarantee) and the lock-free skiplist's claiming CAS
+      // is a per-op linearization point: both get the exhaustive checker on
+      // small histories.
+      if ((algo == Algorithm::kSingleLock || algo == Algorithm::kLockfreeSkipList) &&
+          failures.size() < opt.max_failures) {
         StressSpec lin = spec;
         lin.nprocs = 3;
         lin.ops_per_proc = 4;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "reclaim/policy.hpp"
 #include "platform/sim.hpp"
 #include "verify/history.hpp"
 
@@ -59,6 +60,9 @@ struct StressSpec {
   /// PQ-level elimination array slots for the funnel queues (0 = off);
   /// forwarded as FunnelOptions::pq_elimination / elim_slots.
   u32 elim = 0;
+  /// Memory-reclamation policy for the queues that reclaim through
+  /// reclaim::Domain (PqParams::reclaim_policy); ignored by the rest.
+  reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
   /// Gate the exhaustive linearizability checker (keep histories small:
   /// nprocs * ops_per_proc + drain must stay around 20 ops).
   bool check_lin = false;
@@ -118,7 +122,7 @@ StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
                             const ScenarioChecks& checks);
 
 struct StressOptions {
-  std::vector<Algorithm> algorithms;         // empty = all seven
+  std::vector<Algorithm> algorithms;         // empty = all eight
   std::vector<sim::SchedulePolicy> policies; // empty = all three
   u64 seed_base = 1;
   u32 seeds = 32;
@@ -129,9 +133,11 @@ struct StressOptions {
   /// Per-access jitter used for the perturbing policies (the
   /// smallest-clock baseline always runs jitter-free).
   Cycles access_jitter = 64;
-  /// Batch width / elimination slots forwarded into every spec.
+  /// Batch width / elimination slots / reclamation policy forwarded into
+  /// every spec.
   u32 batch = 1;
   u32 elim = 0;
+  reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
   /// Forwarded into every spec (StressSpec::race_detect).
   bool race_detect = false;
   bool minimize_failures = true;

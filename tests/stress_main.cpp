@@ -56,13 +56,14 @@ std::vector<std::string> split_csv(const std::string& s) {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --algos=A,B,...      algorithms (display names; default: all seven)\n"
+      << "  --algos=A,B,...      algorithms (display names; default: all eight)\n"
       << "  --policies=p,...     smallest-clock | random-preempt | delay-leader\n"
       << "  --seeds=N            seeds per (algorithm, policy) combination (default 32)\n"
       << "  --seed-base=N        first seed (default 1)\n"
       << "  --procs=N --ops=N --nprio=N --insert-pct=N --jitter=N   workload shape\n"
       << "  --batch=N            group ops into insert_batch/delete_min_batch calls\n"
       << "  --elim=N             PQ-level elimination slots for funnel queues (0=off)\n"
+      << "  --reclaim=hp|ebr     memory-reclamation policy for reclaiming queues\n"
       << "  --race-detect        attach the happens-before race detector and the\n"
       << "                       lock-order checker to every scenario (DESIGN.md §10)\n"
       << "  --max-failures=N     stop after N minimized counterexamples (default 1)\n"
@@ -111,6 +112,8 @@ int main(int argc, char** argv) {
         opt.batch = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--elim=", 0) == 0) {
         opt.elim = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--reclaim=", 0) == 0) {
+        opt.reclaim = fpq::reclaim::policy_from_string(val());
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg == "--race-detect") {

@@ -148,5 +148,22 @@ TEST(Stats, NonnegativeSummaryLeavesPositiveIntervalsAlone) {
   EXPECT_DOUBLE_EQ(s.ci95_hi, raw.ci95_hi);
 }
 
+TEST(Stats, NonnegativeSummaryClampsBothBoundsForNegativeDeltas) {
+  // Latency deltas from coarse timers can come out mostly negative; the
+  // raw interval then sits entirely below zero. v1 clamped only ci95_lo,
+  // so the table printed an inverted interval (hi < lo). Both bounds must
+  // land in the metric's domain and stay ordered.
+  const std::vector<double> xs{-5.0, -4.0, -6.0, -5.0};
+  const Summary raw = summarize(xs);
+  ASSERT_LT(raw.ci95_hi, 0.0) << "sample no longer exercises the hi clamp";
+  const Summary s = summarize_nonnegative(xs);
+  EXPECT_EQ(s.ci95_lo, 0.0);
+  EXPECT_EQ(s.ci95_hi, 0.0);
+  EXPECT_LE(s.ci95_lo, s.ci95_hi);
+  // mean/sd still describe the sample, unclamped.
+  EXPECT_DOUBLE_EQ(s.mean, raw.mean);
+  EXPECT_DOUBLE_EQ(s.sd, raw.sd);
+}
+
 } // namespace
 } // namespace fpq

@@ -1,0 +1,168 @@
+// Native reclamation tests: reclaim::Domain over std::atomic and real
+// threads, with real frees — the suite the sanitizer builds (ASan for
+// use-after-free/leaks, TSan for the seq_cst handshake) validate via
+// `ctest -L reclaim-native`. The scenarios mirror tests/test_reclaim.cpp;
+// the canary checks catch what a sanitizer-less build would miss, and the
+// plain `delete` inside the counting deleter is what ASan instruments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "common/padded.hpp"
+#include "platform/native.hpp"
+#include "pq/lockfree_skiplist_pq.hpp"
+#include "reclaim/reclaim.hpp"
+
+namespace fpq {
+namespace {
+
+using reclaim::Domain;
+using reclaim::DomainOptions;
+using reclaim::Guard;
+using reclaim::Policy;
+
+constexpr u64 kCanaryLive = 0xC0FFEE5A11ADull;
+constexpr u64 kCanaryDead = 0xDEADDEADDEADDEADull;
+
+struct CanaryNode {
+  u64 canary = kCanaryLive;
+  u64 payload = 0;
+};
+
+std::atomic<u64> g_allocated{0};
+std::atomic<u64> g_freed{0};
+
+CanaryNode* make_node(u64 payload) {
+  g_allocated.fetch_add(1, std::memory_order_relaxed);
+  CanaryNode* n = new CanaryNode;
+  n->payload = payload;
+  return n;
+}
+
+void scribble_free(void* p) {
+  auto* n = static_cast<CanaryNode*>(p);
+  ASSERT_NE(n->canary, kCanaryDead) << "double free";
+  n->canary = kCanaryDead;
+  g_freed.fetch_add(1, std::memory_order_relaxed);
+  delete n;
+}
+
+DomainOptions options_for(Policy p) {
+  DomainOptions o;
+  o.policy = p;
+  o.slots_per_proc = 2;
+  o.scan_threshold = 8;
+  return o;
+}
+
+class NativeReclaim : public ::testing::TestWithParam<Policy> {
+ protected:
+  void SetUp() override {
+    g_allocated.store(0);
+    g_freed.store(0);
+  }
+};
+
+TEST_P(NativeReclaim, SwapAndChaseTorture) {
+  constexpr u32 kThreads = 4;
+  constexpr u32 kCells = 4;
+  constexpr u32 kOps = 4000;
+  Domain<NativePlatform> dom(kThreads, options_for(GetParam()));
+  std::vector<Padded<NativeShared<u64>>> cells(kCells);
+  for (u32 c = 0; c < kCells; ++c)
+    cells[c].value.store(reinterpret_cast<u64>(make_node(c)));
+  std::atomic<u64> canary_violations{0};
+  NativePlatform::run(kThreads, [&](ProcId id) {
+    for (u32 i = 0; i < kOps; ++i) {
+      const u32 c = static_cast<u32>(NativePlatform::rnd(kCells));
+      Guard<NativePlatform> g(dom);
+      const u64 w = g.protect(0, cells[c].value);
+      auto* n = reinterpret_cast<CanaryNode*>(w);
+      // ASan turns a stale pointer here into a hard use-after-free report;
+      // without sanitizers the scribble check still catches it.
+      if (n->canary != kCanaryLive)
+        canary_violations.fetch_add(1, std::memory_order_relaxed);
+      if ((i & 3) == 0) {
+        CanaryNode* fresh = make_node((static_cast<u64>(id) << 32) | i);
+        u64 expect = w;
+        if (cells[c].value.compare_exchange(expect, reinterpret_cast<u64>(fresh)))
+          g.retire(n, scribble_free);
+        else
+          scribble_free(fresh); // never published
+      }
+    }
+  });
+  for (u32 c = 0; c < kCells; ++c)
+    scribble_free(reinterpret_cast<CanaryNode*>(cells[c].value.load()));
+  dom.flush();
+  EXPECT_EQ(canary_violations.load(), 0u);
+  EXPECT_EQ(dom.stats().in_limbo, 0u);
+  EXPECT_EQ(g_allocated.load(), g_freed.load());
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NativeReclaim,
+                         ::testing::Values(Policy::kHazardPointer, Policy::kEpoch),
+                         [](const ::testing::TestParamInfo<Policy>& i) {
+                           return std::string(reclaim::to_string(i.param)) == "hp"
+                                      ? "Hp"
+                                      : "Ebr";
+                         });
+
+// End-to-end: the lock-free skiplist reclaiming for real under threads.
+// Conservation doubles as the use-after-free probe — a node freed while a
+// traversal holds it corrupts keys/items, which breaks the multiset match.
+class NativeSkiplistReclaim : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(NativeSkiplistReclaim, MixedLoadReclaimsAndConserves) {
+  constexpr u32 kThreads = 4;
+  constexpr u32 kPrios = 16;
+  PqParams params{.npriorities = kPrios, .maxprocs = kThreads};
+  params.reclaim_policy = GetParam();
+  LockfreeSkipListPq<NativePlatform> pq(params);
+  std::vector<std::vector<Entry>> ins(kThreads), del(kThreads);
+  NativePlatform::run(kThreads, [&](ProcId id) {
+    for (u32 i = 0; i < 3000; ++i) {
+      if (NativePlatform::rnd(100) < 60) {
+        const Entry e{static_cast<Prio>(NativePlatform::rnd(kPrios)),
+                      (static_cast<u64>(id) << 32) | i};
+        ASSERT_TRUE(pq.insert(e.prio, e.item));
+        ins[id].push_back(e);
+      } else if (auto e = pq.delete_min()) {
+        del[id].push_back(*e);
+      }
+    }
+  });
+  std::vector<Entry> all_in, all_out;
+  for (auto& v : ins) all_in.insert(all_in.end(), v.begin(), v.end());
+  for (auto& v : del) all_out.insert(all_out.end(), v.begin(), v.end());
+  // Quiescent drain; adopt a processor identity for the guard machinery.
+  NativePlatform::adopt(0, kThreads, 99);
+  while (auto e = pq.delete_min()) all_out.push_back(*e);
+  NativePlatform::release();
+  ASSERT_EQ(all_in.size(), all_out.size());
+  auto key = [](const Entry& e) { return (static_cast<u64>(e.prio) << 48) | e.item; };
+  std::vector<u64> a, b;
+  for (const Entry& e : all_in) a.push_back(key(e));
+  for (const Entry& e : all_out) b.push_back(key(e));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  // The mixed load crossed the restructure bound many times over: physical
+  // reclamation must actually have happened, not just been deferred.
+  const reclaim::DomainStats s = pq.reclaim_stats();
+  EXPECT_GT(s.retired, 0u);
+  EXPECT_GT(s.reclaimed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NativeSkiplistReclaim,
+                         ::testing::Values(Policy::kHazardPointer, Policy::kEpoch),
+                         [](const ::testing::TestParamInfo<Policy>& i) {
+                           return std::string(reclaim::to_string(i.param)) == "hp"
+                                      ? "Hp"
+                                      : "Ebr";
+                         });
+
+} // namespace
+} // namespace fpq

@@ -22,6 +22,16 @@ are cheap to catch at review time:
                    Deliberately-contiguous arrays (lock-serialized data,
                    bulk-transfer buffers) carry a waiver.
 
+  naked-reclaim    a `delete` / `delete[]` / `free()` expression outside
+                   src/reclaim/. Nodes that were ever reachable through a
+                   `Shared` pointer must die via `reclaim::Guard::retire`
+                   (DESIGN.md §11) — a direct free races with concurrent
+                   readers that still hold the pointer. Ownership-clear
+                   frees (never-published nodes, quiescent destructor
+                   teardown) carry a waiver stating why no reader can
+                   exist. Deleted-function declarations (`= delete`) are
+                   not flagged.
+
 A line is waived by a trailing or immediately-preceding comment:
 
     // contract-lint: allow(<rule>) <reason>
@@ -46,6 +56,9 @@ SCAN_DIRS = ["src"]
 # *about* orders, so the seq-cst rule skips them too.
 RAW_ATOMIC_EXEMPT_DIRS = ["src/platform", "src/bench_support"]
 SEQ_CST_EXEMPT_DIRS = ["src/platform", "src/bench_support", "src/sim", "src/common"]
+# The reclamation layer is where deferred frees are implemented; its
+# deleters are the one place a real `delete` belongs.
+NAKED_RECLAIM_EXEMPT_DIRS = ["src/reclaim"]
 
 DESIGN_DOC = "DESIGN.md"
 EXEMPTION_SECTION = "### 8.2"
@@ -64,6 +77,11 @@ DEFAULT_RMW_RE = re.compile(r"\.(compare_exchange|fetch_add|fetch_sub|exchange)\
 UNPADDED_SHARED_RE = re.compile(
     r"(?:vector|array)<[^;]*\bShared<|\bShared<[^<>;]*>\s*\[\s*\]"
 )
+# A delete-expression (`delete p`, `delete[] p`) or a C free call. The
+# negative lookbehind skips deleted-function declarations (`= delete;`,
+# `= delete ;`), which end the statement rather than name an operand.
+NAKED_DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?(?=[A-Za-z_(*:])")
+NAKED_FREE_RE = re.compile(r"\b(?:std\s*::\s*)?free\s*\(")
 
 
 def parse_exemptions(design_path: Path) -> set[str]:
@@ -101,6 +119,9 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
         not any(rel.startswith(d + "/") for d in SEQ_CST_EXEMPT_DIRS)
         and rel not in seq_cst_exempt_files
     )
+    naked_reclaim_scanned = not any(
+        rel.startswith(d + "/") for d in NAKED_RECLAIM_EXEMPT_DIRS
+    )
 
     for idx, line in enumerate(lines):
         code = line.split("//", 1)[0]
@@ -133,6 +154,12 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
             finding(idx, "unpadded-shared",
                     "contiguous Shared<> container without Padded<> "
                     "(false-sharing audit, DESIGN.md §8.4)")
+        if naked_reclaim_scanned and (NAKED_DELETE_RE.search(code)
+                                      or NAKED_FREE_RE.search(code)):
+            finding(idx, "naked-reclaim",
+                    "naked delete/free outside src/reclaim — Shared-reachable "
+                    "nodes must die via reclaim::Guard::retire (DESIGN.md §11); "
+                    "waive only with an argument why no concurrent reader exists")
     return findings
 
 
@@ -191,6 +218,18 @@ SELF_TEST_CASES = [
      "// waived below\n"
      "std::vector<typename P::template Shared<u64>> v_; "
      "// contract-lint: allow(unpadded-shared) lock-serialized"),
+    ("naked-reclaim", "src/pq/x.hpp", "delete cur;"),
+    ("naked-reclaim", "src/pq/x.hpp", "delete[] slots;"),
+    ("naked-reclaim", "src/pq/x.hpp", "delete static_cast<Node*>(p);"),
+    ("naked-reclaim", "src/pq/x.hpp", "free(node);"),
+    ("naked-reclaim", "src/pq/x.hpp", "std::free(node);"),
+    (None, "src/pq/x.hpp", "Pq(const Pq&) = delete;"),
+    (None, "src/pq/x.hpp", "Pq& operator=(const Pq&) = delete;"),
+    (None, "src/reclaim/hazard.hpp", "delete static_cast<Node*>(p);"),
+    (None, "src/pq/x.hpp",
+     "delete cur; // contract-lint: allow(naked-reclaim) quiescent owner teardown"),
+    (None, "src/pq/x.hpp", "// delete-min scans the prefix"),
+    (None, "src/pq/x.hpp", "g.retire(u); // deferred free"),
 ]
 
 
