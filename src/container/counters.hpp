@@ -13,9 +13,12 @@
 // three expose the same interface so tree algorithms can mix them per node.
 #pragma once
 
+#include <optional>
+
 #include "common/types.hpp"
 #include "platform/platform.hpp"
 #include "sync/mcs_lock.hpp"
+#include "sync/try_budget.hpp"
 
 namespace fpq {
 
@@ -38,6 +41,8 @@ class CasCounter {
   /// (paper Fig. 1, BFaD).
   i64 bfad(i64 bound) {
     i64 old = v_.load_relaxed();
+    // contract-lint: allow(naked-spin) lock-free retry: a CAS failure means
+    // another processor's counter op committed.
     for (;;) {
       if (old <= bound) return old;
       if (v_.compare_exchange(old, old - 1, MemOrder::kAcqRel, MemOrder::kRelaxed)) return old;
@@ -48,6 +53,7 @@ class CasCounter {
   /// Bounded fetch-and-increment: increments only while below `bound`.
   i64 bfai(i64 bound) {
     i64 old = v_.load_relaxed();
+    // contract-lint: allow(naked-spin) lock-free retry (as bfad above)
     for (;;) {
       if (old >= bound) return old;
       if (v_.compare_exchange(old, old + 1, MemOrder::kAcqRel, MemOrder::kRelaxed)) return old;
@@ -65,6 +71,7 @@ class CasCounter {
   /// Returns how many of them observed a value above the bound.
   u64 bfad_batch(i64 bound, u64 k) {
     i64 old = v_.load_relaxed();
+    // contract-lint: allow(naked-spin) lock-free retry (as bfad above)
     for (;;) {
       const i64 room = old - bound;
       const u64 eff = room > 0 ? (static_cast<u64>(room) < k ? static_cast<u64>(room) : k) : 0;
@@ -137,6 +144,36 @@ class McsCounter {
   }
 
   i64 read() const { return v_.load_acquire(); }
+
+  /// Bounded-wait variants (DESIGN.md §12): the mutation happens only if the
+  /// MCS lock can be try-acquired within the budget. nullopt = budget
+  /// exhausted with the counter untouched — a dead or stalled lock holder
+  /// costs the caller a timeout, never a hang. NB: v_ is mutated with plain
+  /// release stores under the lock, so a CAS-based bounded path (as in
+  /// CasCounter) would race; try_acquire is the only legal primitive here.
+  std::optional<i64> try_fai(TryClock<P>& clock) {
+    for (;;) {
+      if (lock_.try_acquire()) {
+        const i64 old = v_.load_relaxed();
+        v_.store_release(old + 1);
+        lock_.release();
+        return old;
+      }
+      if (!clock.tick_backoff()) return std::nullopt;
+    }
+  }
+
+  std::optional<i64> try_bfad(i64 bound, TryClock<P>& clock) {
+    for (;;) {
+      if (lock_.try_acquire()) {
+        const i64 old = v_.load_relaxed();
+        if (old > bound) v_.store_release(old - 1);
+        lock_.release();
+        return old;
+      }
+      if (!clock.tick_backoff()) return std::nullopt;
+    }
+  }
 
  private:
   McsLock<P> lock_;

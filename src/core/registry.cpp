@@ -39,6 +39,27 @@ bool has_native_batch(Algorithm a) {
   return a == Algorithm::kLinearFunnels || a == Algorithm::kFunnelTree;
 }
 
+std::string_view to_string(ProgressGuarantee g) {
+  switch (g) {
+    case ProgressGuarantee::kBlocking: return "blocking";
+    case ProgressGuarantee::kLockFree: return "lock-free";
+  }
+  return "?";
+}
+
+ProgressGuarantee progress_guarantee(Algorithm a) {
+  // Everything the paper evaluates is lock-based (MCS levels, bin locks,
+  // combining funnels that hand results through captured partners); only
+  // the Linden/Jonsson-style skiplist extension is lock-free.
+  return a == Algorithm::kLockfreeSkipList ? ProgressGuarantee::kLockFree
+                                           : ProgressGuarantee::kBlocking;
+}
+
+bool has_native_try(Algorithm a) {
+  return a == Algorithm::kLinearFunnels || a == Algorithm::kFunnelTree ||
+         a == Algorithm::kLockfreeSkipList;
+}
+
 const std::vector<Algorithm>& scalable_algorithms() {
   static const std::vector<Algorithm> four = {
       Algorithm::kSimpleLinear,

@@ -50,6 +50,24 @@ const std::vector<Algorithm>& scalable_algorithms();
 /// to the per-entry loop in PqAdapter.
 bool has_native_batch(Algorithm a);
 
+/// Declared progress guarantee of each algorithm — what the liveness
+/// battery (verify/liveness.hpp) verifies empirically under crash plans:
+/// a kLockFree queue keeps completing operations with a dead processor
+/// inside it; a kBlocking queue is allowed (expected) to wedge behind one.
+enum class ProgressGuarantee : u8 {
+  kBlocking,
+  kLockFree,
+};
+
+std::string_view to_string(ProgressGuarantee g);
+
+ProgressGuarantee progress_guarantee(Algorithm a);
+
+/// True for the queues with native try_insert/try_delete_min — the budget
+/// is honored *inside* an operation (bounded wait even behind a stalled
+/// lock holder), not just between PqAdapter fallback attempts.
+bool has_native_try(Algorithm a);
+
 template <Platform P>
 std::unique_ptr<IPriorityQueue<P>> make_priority_queue(Algorithm a,
                                                        const PqParams& params,

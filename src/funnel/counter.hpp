@@ -56,6 +56,7 @@
 #include "funnel/params.hpp"
 #include "platform/platform.hpp"
 #include "sync/backoff.hpp"
+#include "sync/try_budget.hpp"
 
 namespace fpq {
 
@@ -133,6 +134,22 @@ class FunnelCounter {
                    "funnel counter is bound-specialized at construction");
     FPQ_ASSERT(k >= 1);
     return run(-static_cast<i64>(k), k).successes;
+  }
+
+  /// Bounded-wait fetch-and-increment: never enters the funnel (no capture,
+  /// so no dependence on any partner's liveness) — it CASes the central
+  /// value directly under the budget, exactly like the adaptive fast path.
+  /// nullopt = budget exhausted, counter untouched.
+  std::optional<i64> try_fai(TryClock<P>& clock) {
+    FPQ_ASSERT_MSG(cfg_.ceiling == kNoCeiling, "use a ceiling-matched try on bfai counters");
+    return try_apply(+1, clock);
+  }
+
+  /// Bounded-wait bounded fetch-and-decrement (same contract as try_fai).
+  std::optional<i64> try_bfad(i64 bound, TryClock<P>& clock) {
+    FPQ_ASSERT_MSG(cfg_.bounded && bound == cfg_.floor,
+                   "funnel counter is bound-specialized at construction");
+    return try_apply(-1, clock);
   }
 
   /// Unsynchronized read of the central value (quiescent use only).
@@ -286,12 +303,18 @@ class FunnelCounter {
           // Failed to lock the partner; rejoin the layer (line 24).
           my.location.store_release(loc(d));
         }
-        // Wait to be captured for a while (lines 25-26).
+        // Wait to be captured for a while (lines 25-26). The relax between
+        // probes matters on both backends: natively it is the polite spin
+        // hint; on the simulator the probe is a cache hit, and hit-elision
+        // never yields on hits — without the relax (which charges a cycle
+        // and yields) a stall plan that freezes every other fiber would
+        // leave this loop monopolizing the scheduler.
         for (u32 i = 0; i < params_.spin[d]; ++i) {
           if (my.location.load_relaxed() != loc(d)) {
             if (auto r = finish_as_child(my, d)) return *r;
             break; // retry: rejoin the attempts loop
           }
+          P::relax();
         }
       }
 
@@ -407,6 +430,18 @@ class FunnelCounter {
       c->result_value.store_relaxed(advance(base, steps, decrementing));
       c->result_state.store_release(kStCount);
       steps += csize;
+    }
+  }
+
+  /// Direct-CAS core of the try_* entries. Lock-free: each failed CAS
+  /// means some other operation committed.
+  std::optional<i64> try_apply(i64 delta, TryClock<P>& clock) {
+    for (;;) {
+      i64 val = central_.load_relaxed();
+      if (central_.compare_exchange(val, clamp(val + delta), MemOrder::kAcqRel,
+                                    MemOrder::kRelaxed))
+        return val;
+      if (!clock.tick_backoff()) return std::nullopt;
     }
   }
 

@@ -57,6 +57,7 @@
 #include "funnel/params.hpp"
 #include "platform/platform.hpp"
 #include "sync/mcs_lock.hpp"
+#include "sync/try_budget.hpp"
 
 namespace fpq {
 
@@ -127,6 +128,68 @@ class FunnelStack {
       if (v != kNoItem) out[got++] = v;
     }
     return got;
+  }
+
+  /// Outcome of the bounded-wait entry points below.
+  enum class TryOutcome : u8 {
+    kOk,      // operation committed
+    kRefused, // push: central store full; pop: central store empty
+    kTimeout, // budget exhausted before the lock was won; nothing consumed
+  };
+
+  /// Bounded-wait push: bypasses the funnel entirely — no capture, so no
+  /// dependence on any partner's liveness — and takes the central lock
+  /// with try_acquire under the budget. A stalled or dead lock holder
+  /// therefore costs kTimeout, never a hang. Elimination is forgone; this
+  /// is the degraded mode, not the fast path.
+  TryOutcome try_push(Item v, TryClock<P>& clock) {
+    FPQ_ASSERT_MSG(v != kNoEntry, "item value reserved as sentinel");
+    for (;;) {
+      if (lock_.try_acquire()) {
+        const u64 cap = cells_.size();
+        const u64 n = size_.load_relaxed();
+        TryOutcome r = TryOutcome::kRefused;
+        if (n < cap) {
+          const u64 t = tail_.load_relaxed();
+          cells_[t % cap].store_relaxed(v);
+          tail_.store_relaxed(t + 1);
+          size_.store_release(n + 1);
+          r = TryOutcome::kOk;
+        }
+        lock_.release();
+        return r;
+      }
+      if (!clock.tick_backoff()) return TryOutcome::kTimeout;
+    }
+  }
+
+  /// Bounded-wait pop (same contract as try_push). kRefused = the central
+  /// store held nothing, the same answer pop()'s sentinel gives.
+  TryOutcome try_pop(Item& out, TryClock<P>& clock) {
+    for (;;) {
+      if (empty()) return TryOutcome::kRefused; // 1-read probe, as pop()'s users do
+      if (lock_.try_acquire()) {
+        const u64 cap = cells_.size();
+        const u64 n = size_.load_relaxed();
+        TryOutcome r = TryOutcome::kRefused;
+        if (n > 0) {
+          if (order_ == BinOrder::kLifo) {
+            const u64 t = tail_.load_relaxed();
+            out = cells_[(t - 1) % cap].load_relaxed();
+            tail_.store_relaxed(t - 1);
+          } else {
+            const u64 h = head_.load_relaxed();
+            out = cells_[h % cap].load_relaxed();
+            head_.store_relaxed(h + 1);
+          }
+          size_.store_release(n - 1);
+          r = TryOutcome::kOk;
+        }
+        lock_.release();
+        return r;
+      }
+      if (!clock.tick_backoff()) return TryOutcome::kTimeout;
+    }
   }
 
   /// One shared read (bin-empty of Fig. 1 / §3.2).
@@ -260,11 +323,15 @@ class FunnelStack {
           }
           my.location.store_release(loc(d));
         }
+        // Relax between capture-wait probes — see counter.hpp: the polite
+        // spin hint natively, and on the simulator the yield that keeps a
+        // hit-only loop from monopolizing the scheduler under stall plans.
         for (u32 i = 0; i < params_.spin[d]; ++i) {
           if (my.location.load_relaxed() != loc(d)) {
             if (auto r = finish_as_child(my, d)) return *r;
             break; // retry: rejoin the attempts loop
           }
+          P::relax();
         }
       }
 

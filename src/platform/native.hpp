@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <functional>
+#include <new>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -154,6 +155,16 @@ struct NativePlatform {
   /// native execution has nothing to record (TSan sees the real locks).
   static void note_lock_acquire(const void*, bool) {}
   static void note_lock_release(const void*) {}
+
+  /// Node storage (platform.hpp contract). Plain nothrow heap: the sanitizer
+  /// builds are the native leak/double-free oracle, so no counting here.
+  static void* try_alloc(std::size_t bytes) { return ::operator new(bytes, std::nothrow); }
+  static void dealloc(void* p, std::size_t) {
+    ::operator delete(p); // contract-lint: allow(naked-reclaim) platform allocator
+  }
+
+  /// Liveness pulse: the fault watchdog is a simulator concept.
+  static void heartbeat() {}
 
   /// Binds the calling thread to a processor id without run() — for
   /// embedding in external thread pools. Pair with release().

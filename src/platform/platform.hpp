@@ -27,6 +27,24 @@
 //                               then escalates per its spin policy.
 //   P::rnd(bound) / P::flip() — deterministic per-processor randomness.
 //   P::kSimulated             — constexpr bool.
+//   P::try_alloc(bytes)       — raw storage for a structure node, or
+//                               nullptr on exhaustion. Algorithms that
+//                               allocate on their hot paths must go through
+//                               this (placement-new into it) and unwind
+//                               cleanly on nullptr — the simulator injects
+//                               failures here (sim/faults.hpp kAllocFail)
+//                               and counts outstanding blocks, which is how
+//                               the leak/double-free checks in the fault
+//                               battery see every allocation.
+//   P::dealloc(p, bytes)      — returns try_alloc storage (after destroying
+//                               the object placed in it). nullptr is a
+//                               no-op; `bytes` must match the allocation.
+//   P::heartbeat()            — liveness pulse, called by harnesses between
+//                               queue operations. Native: no-op. Sim: feeds
+//                               the fault plan's per-processor watchdog, so
+//                               a fiber stuck *inside* one operation
+//                               (behind a crashed lock holder) is detected
+//                               as wedged instead of hanging the run.
 //   P::note_lock_acquire(lock, trylock) / P::note_lock_release(lock)
 //                             — lock-lifecycle hints emitted by the sync
 //                               layer (mcs_lock, ttas_lock). The native
@@ -79,6 +97,7 @@
 #pragma once
 
 #include <concepts>
+#include <cstddef>
 #include <type_traits>
 
 #include "common/memorder.hpp"
@@ -106,6 +125,9 @@ concept Platform = requires(typename P::template Shared<u64>& w, u64& e) {
   { w.fetch_sub(u64{}, MemOrder::kAcqRel) } -> std::same_as<u64>;
   P::note_lock_acquire(static_cast<const void*>(nullptr), bool{});
   P::note_lock_release(static_cast<const void*>(nullptr));
+  { P::try_alloc(std::size_t{}) } -> std::same_as<void*>;
+  P::dealloc(static_cast<void*>(nullptr), std::size_t{});
+  P::heartbeat();
 };
 
 } // namespace fpq

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <functional>
+#include <new>
+#include <unordered_set>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -71,6 +73,15 @@ class SimShared {
     return compare_exchange(expected, desired, MemOrder::kSeqCst, MemOrder::kSeqCst);
   }
   bool compare_exchange(T& expected, T desired, MemOrder success, MemOrder failure) {
+    // Fault injection (sim/faults.hpp kCasFail): a spuriously failed CAS,
+    // decided *before* the data effect. It behaves exactly like a real
+    // failure — expected is refreshed, the access is charged as a read at
+    // the failure order — so callers written for weak CAS retry correctly.
+    if (sim::Engine* e = sim::Engine::current(); e && e->inject_cas_failure()) {
+      expected = v_;
+      touch(sim::AccessKind::Rmw, failure, false);
+      return false;
+    }
     const bool ok = (v_ == expected);
     if (ok)
       v_ = desired;
@@ -140,6 +151,64 @@ struct SimPlatform {
   static void relax() { engine().delay(1); }
   static u64 rnd(u64 bound) { return engine().rng().below(bound); }
   static bool flip() { return engine().rng().flip(); }
+
+  /// Allocation bookkeeping for the fault battery's leak/double-free
+  /// checks: the sim runs on one host thread, so plain counters suffice.
+  /// Snapshot before/after a scenario; outstanding() must return to the
+  /// snapshot value and `double_frees` must stay 0.
+  struct AllocCounters {
+    u64 allocs = 0;
+    u64 frees = 0;
+    u64 bytes_allocated = 0;
+    u64 bytes_freed = 0;
+    u64 failed = 0;      // injected (or real) nullptr returns
+    u64 double_frees = 0; // dealloc of a pointer not currently live
+    u64 outstanding() const { return allocs - frees; }
+  };
+  static AllocCounters& alloc_counters() {
+    static AllocCounters c;
+    return c;
+  }
+  static std::unordered_set<const void*>& live_allocs() {
+    static std::unordered_set<const void*> s;
+    return s;
+  }
+
+  /// Node storage with fault injection (sim/faults.hpp kAllocFail) and
+  /// leak/double-free accounting. See platform.hpp for the contract.
+  static void* try_alloc(std::size_t bytes) {
+    AllocCounters& c = alloc_counters();
+    if (sim::Engine* e = sim::Engine::current(); e && e->inject_alloc_failure()) {
+      ++c.failed;
+      return nullptr;
+    }
+    void* p = ::operator new(bytes, std::nothrow);
+    if (p == nullptr) {
+      ++c.failed;
+      return nullptr;
+    }
+    ++c.allocs;
+    c.bytes_allocated += bytes;
+    live_allocs().insert(p);
+    return p;
+  }
+  static void dealloc(void* p, std::size_t bytes) {
+    if (p == nullptr) return;
+    AllocCounters& c = alloc_counters();
+    if (live_allocs().erase(p) == 0) {
+      ++c.double_frees;
+      return; // refuse the free: keeps the canary visible, not a crash
+    }
+    ++c.frees;
+    c.bytes_freed += bytes;
+    ::operator delete(p); // contract-lint: allow(naked-reclaim) platform allocator
+  }
+
+  /// Liveness pulse for the fault watchdog (no time charged; no-op outside
+  /// a simulation or without a plan).
+  static void heartbeat() {
+    if (sim::Engine* e = sim::Engine::current()) e->heartbeat();
+  }
 
   /// Lock-lifecycle hints (see platform.hpp): feed the engine's lock-order
   /// checker. No time is charged; outside a simulation they are no-ops.

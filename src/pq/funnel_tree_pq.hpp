@@ -93,6 +93,65 @@ class FunnelTreePq {
     return std::nullopt;
   }
 
+  // Bounded-wait variants (DESIGN.md §12). The budget governs everything up
+  // to the operation's point of no return — the leaf push for insert, the
+  // root BFaD for delete_min; kTimeout / kEmpty consumed and inserted
+  // nothing. Once committed, the remainder (count climb / descent + leaf
+  // pop) rolls *forward* unbudgeted: abandoning a half-climbed count would
+  // strand the pushed item and tear every ancestor's invariant. Forward work
+  // is bounded at log2(nleaves) counter ops, but each may block on that
+  // counter's lock — the documented residual blocking of this queue's try_*.
+  // Funnel layer and elimination array are bypassed (partner-dependent).
+  PqStatus try_insert(Prio prio, Item item, const TryBudget& budget) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    TryClock<P> clock(budget);
+    for (;;) {
+      const auto r = stacks_[prio]->try_push(item, clock);
+      if (r == FunnelStack<P>::TryOutcome::kOk) break;
+      if (r == FunnelStack<P>::TryOutcome::kTimeout) return PqStatus::kTimeout;
+      // Refused: capacity exhaustion, transient under concurrent deletes.
+      if (!clock.tick_backoff()) return PqStatus::kTimeout;
+    }
+    for (u32 n = nleaves_ + prio; n > 1; n >>= 1) { // committed: roll forward
+      if ((n & 1) == 0) fai(n >> 1);
+    }
+    return PqStatus::kOk;
+  }
+
+  PqStatus try_delete_min(Entry& out, const TryBudget& budget) {
+    TryClock<P> clock(budget);
+    u32 n = 1;
+    if (nleaves_ > 1) {
+      // Bounded root BFaD — the point of no return. A zero root count is
+      // the queue's quiescently-empty answer (every committed insert has
+      // published its root count), and claims nothing.
+      const std::optional<i64> before = try_bfad(1, clock);
+      if (!before) return PqStatus::kTimeout;
+      if (*before <= 0) return PqStatus::kEmpty;
+      n = 2; // claimed a count: the minimum lies in the left subtree first
+      while (n < nleaves_) {
+        const i64 b = bfad(n); // roll forward: blocking below the root
+        n = (n << 1) | (b > 0 ? 0u : 1u);
+      }
+      const u32 prio = n - nleaves_;
+      if (prio < npriorities_) {
+        if (auto e = stacks_[prio]->pop()) {
+          out = Entry{prio, *e};
+          return PqStatus::kOk;
+        }
+      }
+      return PqStatus::kEmpty; // racing shortfall, same as delete_min's nullopt
+    }
+    // Single-leaf tree: no counters, the pop itself is the commit point.
+    Item v;
+    switch (stacks_[0]->try_pop(v, clock)) {
+      case FunnelStack<P>::TryOutcome::kOk: out = Entry{0, v}; return PqStatus::kOk;
+      case FunnelStack<P>::TryOutcome::kTimeout: return PqStatus::kTimeout;
+      case FunnelStack<P>::TryOutcome::kRefused: break;
+    }
+    return PqStatus::kEmpty;
+  }
+
   /// Aggregated insert: same-priority groups share one stack push_batch and
   /// one fai_batch per tree node on the climb. Returns the number accepted
   /// (refusals are stack-capacity exhaustion; refused items get no counts).
@@ -160,6 +219,13 @@ class FunnelTreePq {
 
   i64 bfad(u32 n) {
     return funnel_counters_[n] ? funnel_counters_[n]->bfad(0) : mcs_counters_[n]->bfad(0);
+  }
+
+  /// Budget-bounded BFaD at node `n`; nullopt = budget exhausted with the
+  /// counter untouched. Direct CAS on funnel counters, try_acquire on MCS.
+  std::optional<i64> try_bfad(u32 n, TryClock<P>& clock) {
+    return funnel_counters_[n] ? funnel_counters_[n]->try_bfad(0, clock)
+                               : mcs_counters_[n]->try_bfad(0, clock);
   }
 
   void fai_batch(u32 n, u32 k) {

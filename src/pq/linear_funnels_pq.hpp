@@ -91,6 +91,40 @@ class LinearFunnelsPq {
     return std::nullopt;
   }
 
+  // Bounded-wait variants (DESIGN.md §12). Both bypass the funnel layer and
+  // the elimination array entirely — a funnel capture waits on a *partner's*
+  // progress, which a budget cannot bound — and go straight for the central
+  // lock with try_acquire + backoff. Fully pre-commit: kTimeout / kEmpty
+  // consumed and inserted nothing.
+  PqStatus try_insert(Prio prio, Item item, const TryBudget& budget) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    TryClock<P> clock(budget);
+    for (;;) {
+      switch (stacks_[prio]->try_push(item, clock)) {
+        case FunnelStack<P>::TryOutcome::kOk: return PqStatus::kOk;
+        case FunnelStack<P>::TryOutcome::kTimeout: return PqStatus::kTimeout;
+        case FunnelStack<P>::TryOutcome::kRefused:
+          // Capacity exhaustion, transient under concurrent deletes.
+          if (!clock.tick_backoff()) return PqStatus::kTimeout;
+      }
+    }
+  }
+
+  PqStatus try_delete_min(Entry& out, const TryBudget& budget) {
+    TryClock<P> clock(budget);
+    for (u32 i = 0; i < npriorities_; ++i) {
+      if (stacks_[i]->empty()) continue;
+      Item v;
+      switch (stacks_[i]->try_pop(v, clock)) {
+        case FunnelStack<P>::TryOutcome::kOk: out = Entry{i, v}; return PqStatus::kOk;
+        case FunnelStack<P>::TryOutcome::kTimeout: return PqStatus::kTimeout;
+        case FunnelStack<P>::TryOutcome::kRefused:
+          break; // bin drained between the probe and the lock; keep scanning
+      }
+    }
+    return PqStatus::kEmpty; // no elim park: parking blocks on a partner
+  }
+
   /// Aggregated insert: entries grouped by priority, one funnel traversal
   /// per (chunk, priority) group. Returns the number accepted.
   u32 insert_batch(const Entry* entries, u32 n) {

@@ -74,9 +74,37 @@
 // per-operation minimality in the quiescent sense of Appendix B. The
 // quiescent phase-rank checks apply in full (unlike SkipListPq's
 // delete-bin scheme).
+//
+// ## Fault tolerance (DESIGN.md §12)
+//
+// The queue is classified lock-free: a fail-stopped processor must not
+// prevent survivors from completing inserts and delete_mins. Three spots
+// carry that guarantee:
+//
+//   * search never *adopts* a node whose level word is poisoned as a pred
+//     (skip-before rule, see search()); if a restructurer dies between
+//     poisoning a level and unlinking it, the poisoned node just stays in
+//     that level's list forever — traversals step around it instead of
+//     restarting into it unboundedly. Bottom-level poison still restarts,
+//     which stays bounded because bottom poison is only ever applied to
+//     nodes already unlinked from every list.
+//   * restructure's wait for an in-flight inserter (Node::state) is a
+//     bounded probe, not a park: a crashed inserter abandons the rest of
+//     the prefix (those nodes leak — they are unreachable — rather than
+//     hang the survivor's delete_min). A crashed *restructurer* leaves the
+//     restructuring_ flag set, which only stops future physical cleanup;
+//     logical operation continues (the prefix merely stops shrinking).
+//   * node memory comes from P::try_alloc: an injected allocation failure
+//     makes insert return false / try_insert return kNoMemory with the
+//     structure untouched and the node freed — no leak, no torn tower.
+//
+// After a crash, a survivor (or the harness) must call adopt_orphans() so
+// the dead processor's hazard slots / epoch pin and limbo are taken over;
+// see reclaim.hpp.
 #pragma once
 
 #include <array>
+#include <new>
 #include <optional>
 #include <vector>
 
@@ -87,6 +115,7 @@
 #include "platform/platform.hpp"
 #include "pq/pq.hpp"
 #include "reclaim/reclaim.hpp"
+#include "sync/backoff.hpp"
 
 namespace fpq {
 
@@ -106,8 +135,9 @@ class LockfreeSkipListPq {
         restructure_bound_(P::kSimulated ? 4 : 16 + 4 * params.maxprocs),
         domain_(params.maxprocs, domain_options(params)) {
     params.validate();
-    head_ = new Node(0, 0, kMaxHeight);
-    tail_ = new Node(npriorities_, 0, kMaxHeight);
+    head_ = alloc_node(0, 0, kMaxHeight);
+    tail_ = alloc_node(npriorities_, 0, kMaxHeight);
+    FPQ_ASSERT_MSG(head_ != nullptr && tail_ != nullptr, "sentinel allocation failed");
     head_->state.store_relaxed(1); // sentinels are never "being inserted"
     tail_->state.store_relaxed(1);
     for (u32 l = 0; l < kMaxHeight; ++l) head_->next[l].store_relaxed(pack(tail_));
@@ -121,11 +151,11 @@ class LockfreeSkipListPq {
     Node* cur = ptr(head_->next[0].load_acquire());
     while (cur != tail_) {
       Node* nxt = ptr(cur->next[0].load_acquire());
-      delete cur; // contract-lint: allow(naked-reclaim) quiescent owner teardown
+      free_node(cur); // quiescent owner teardown
       cur = nxt;
     }
-    delete head_; // contract-lint: allow(naked-reclaim) quiescent owner teardown
-    delete tail_; // contract-lint: allow(naked-reclaim) quiescent owner teardown
+    free_node(head_);
+    free_node(tail_);
   }
 
   LockfreeSkipListPq(const LockfreeSkipListPq&) = delete;
@@ -135,10 +165,13 @@ class LockfreeSkipListPq {
     FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
     u32 h = 1;
     while (h < kMaxHeight && P::flip()) ++h;
-    Node* n = new Node(prio, item, h);
+    Node* n = alloc_node(prio, item, h);
+    if (n == nullptr) return false; // allocation failure: structure untouched
     reclaim::Guard<P> g(domain_);
     Node* preds[kMaxHeight];
     u64 succs[kMaxHeight];
+    // contract-lint: allow(naked-spin) lock-free retry: the splice CAS
+    // fails only when a concurrent splice/claim/poison committed.
     for (;;) {
       search(g, prio, preds, succs);
       // Pre-publication store; the splice CAS below releases it.
@@ -153,6 +186,7 @@ class LockfreeSkipListPq {
     // (expected is clean) and we re-search; correctness never depends on a
     // node being present above level 0, so lost upper splices are benign.
     for (u32 l = 1; l < h; ++l) {
+      // contract-lint: allow(naked-spin) lock-free retry (see above)
       for (;;) {
         n->next[l].store_release(succs[l]);
         u64 expect = succs[l];
@@ -208,6 +242,99 @@ class LockfreeSkipListPq {
     }
   }
 
+  // Bounded-wait variants (DESIGN.md §12). The structure is lock-free, so
+  // the budget is charged only on contention — CAS losses and poison
+  // restarts — never on parking; both ops are pre-commit (kTimeout /
+  // kEmpty / kNoMemory consumed and inserted nothing). try_insert's commit
+  // point is the bottom splice; a budget that runs out during the tower
+  // raise abandons the remaining levels, which is benign (correctness
+  // never depends on presence above level 0).
+  PqStatus try_insert(Prio prio, Item item, const TryBudget& budget) {
+    FPQ_ASSERT_MSG(prio < npriorities_, "priority outside the bounded range");
+    TryClock<P> clock(budget);
+    u32 h = 1;
+    while (h < kMaxHeight && P::flip()) ++h;
+    Node* n = alloc_node(prio, item, h);
+    if (n == nullptr) return PqStatus::kNoMemory; // untorn: nothing published
+    reclaim::Guard<P> g(domain_);
+    Node* preds[kMaxHeight];
+    u64 succs[kMaxHeight];
+    for (;;) {
+      search(g, prio, preds, succs);
+      n->next[0].store_relaxed(succs[0]);
+      u64 expect = succs[0];
+      if (preds[0]->next[0].compare_exchange(expect, pack(n), MemOrder::kRelease,
+                                             MemOrder::kRelaxed)) {
+        break;
+      }
+      if (!clock.tick_backoff()) {
+        free_node(n); // never published: direct free, no retire needed
+        return PqStatus::kTimeout;
+      }
+    }
+    for (u32 l = 1; l < h; ++l) {
+      for (;;) {
+        n->next[l].store_release(succs[l]);
+        u64 expect = succs[l];
+        if (preds[l]->next[l].compare_exchange(expect, pack(n), MemOrder::kRelease,
+                                               MemOrder::kRelaxed)) {
+          break;
+        }
+        if (!clock.tick_backoff()) {
+          l = h; // committed at the bottom; abandon the remaining levels
+          break;
+        }
+        search(g, prio, preds, succs);
+      }
+    }
+    n->state.store_release(1);
+    return PqStatus::kOk;
+  }
+
+  PqStatus try_delete_min(Entry& out, const TryBudget& budget) {
+    TryClock<P> clock(budget);
+    reclaim::Guard<P> g(domain_);
+  restart:
+    Node* pred = head_;
+    g.protect_value(kSlotPred, pack(head_));
+    u64 w = g.protect(kSlotCur, pred->next[0]);
+    u32 offset = 0;
+    for (;;) {
+      if (poisoned(w)) {
+        if (!clock.tick_backoff()) return PqStatus::kTimeout;
+        goto restart;
+      }
+      Node* x = ptr(w);
+      if (x == tail_) return PqStatus::kEmpty;
+      if (marked(w)) {
+        // Prefix hops are plain walk progress (bounded by the prefix
+        // length), not contention; they are not charged to the budget.
+        ++offset;
+        g.protect_value(kSlotPred, pack(x));
+        pred = x;
+        w = g.protect(kSlotCur, pred->next[0]);
+        continue;
+      }
+      u64 expect = w;
+      if (pred->next[0].compare_exchange(expect, w | kMarkBit, MemOrder::kAcqRel,
+                                         MemOrder::kRelaxed)) {
+        ++offset;
+        out = Entry{static_cast<Prio>(x->key), x->item};
+        if (offset > restructure_bound_) restructure(g, x); // post-commit
+        return PqStatus::kOk;
+      }
+      if (!clock.tick_backoff()) return PqStatus::kTimeout;
+      if (poisoned(expect)) goto restart;
+      w = g.protect(kSlotCur, pred->next[0]);
+    }
+  }
+
+  /// Fault-battery hook: after processor `dead` fail-stopped, a survivor
+  /// (or the teardown path) takes over its reclamation state — stale
+  /// hazards / epoch pin and limbo — so reclamation unwedges and the
+  /// domain can be destroyed cleanly. See reclaim::Domain::adopt_orphans.
+  void adopt_orphans(ProcId dead, ProcId adopter) { domain_.adopt_orphans(dead, adopter); }
+
   u32 npriorities() const { return npriorities_; }
 
   /// Reclamation accounting, surfaced for the torture tests.
@@ -217,6 +344,11 @@ class LockfreeSkipListPq {
   static constexpr u64 kMarkBit = 1;
   static constexpr u64 kPoisonBit = 2;
   static constexpr u64 kTagMask = kMarkBit | kPoisonBit;
+  /// Backoff probes the restructurer grants a still-raising insert before
+  /// concluding the inserter is dead and abandoning the prefix. Each probe
+  /// backs off exponentially, so the fault-free protocol (whose raise is a
+  /// handful of CASes) never comes close to the bound.
+  static constexpr u32 kStateWaitBound = 4096;
 
   // Hazard slots: one per level for the search's preds, plus the traversal
   // cursor pair (pred, cur) for hand-over-hand hops.
@@ -242,6 +374,24 @@ class LockfreeSkipListPq {
   static bool marked(u64 w) { return (w & kMarkBit) != 0; }
   static bool poisoned(u64 w) { return (w & kPoisonBit) != 0; }
 
+  // Node memory goes through the platform allocator so the fault engine
+  // can inject allocation failure and the counting allocator can audit the
+  // queue for leaks/double-frees (sim backend, DESIGN.md §12).
+  static Node* alloc_node(u64 k, u64 it, u32 h) {
+    void* mem = P::try_alloc(sizeof(Node));
+    if (mem == nullptr) return nullptr;
+    return new (mem) Node(k, it, h);
+  }
+
+  static void free_node(Node* n) {
+    n->~Node();
+    P::dealloc(n, sizeof(Node));
+  }
+
+  static void retire_node(reclaim::Guard<P>& g, Node* n) {
+    g.retire(n, [](void* q) { free_node(static_cast<Node*>(q)); });
+  }
+
   static reclaim::DomainOptions domain_options(const PqParams& p) {
     reclaim::DomainOptions o;
     o.policy = p.reclaim_policy;
@@ -261,22 +411,51 @@ class LockfreeSkipListPq {
     Node* pred = head_;
     g.protect_value(kSlotPred, pack(head_));
     for (i32 l = kMaxHeight - 1; l >= 0; --l) {
-      u64 w = g.protect(kSlotCur, pred->next[static_cast<u32>(l)]);
+      const u32 ul = static_cast<u32>(l);
+      u64 w = g.protect(kSlotCur, pred->next[ul]);
       for (;;) {
         if (poisoned(w)) {
-          P::pause(); // see the kPoisonBit comment: backoff keeps this bounded
-          goto restart;
+          // `pred`'s own level-l word is poisoned: pred is mid-retirement.
+          // Bottom level: restart the search — bottom poison is applied
+          // only to nodes already unlinked from every list, so a fresh
+          // walk cannot re-reach them and the restart is bounded even if
+          // the poisoner crashed. Upper level: the poison may be permanent
+          // (a dead restructurer never reaches phase 2), so restarting
+          // would livelock; instead re-scan just this level from the head,
+          // where the skip-before rule below steps around poisoned nodes.
+          // The pause is load-bearing under the simulator's hit-elision
+          // scheduling (see the kPoisonBit file comment).
+          if (l == 0) {
+            P::pause();
+            goto restart;
+          }
+          pred = head_;
+          g.protect_value(kSlotPred, pack(head_));
+          w = g.protect(kSlotCur, pred->next[ul]);
+          continue;
         }
         Node* cur = ptr(w);
         const bool advance = cur != tail_ && (marked(w) || cur->key <= key);
         if (!advance) break;
+        if (l > 0 && poisoned(cur->next[ul].load_acquire())) {
+          // Skip-before rule (upper levels): `cur` is being retired here.
+          // Its word still names the preserved successor, so the list
+          // stays navigable, but no CAS against it can ever succeed — so
+          // never adopt it as a pred. Stop the level early instead:
+          // preds[l] only needs a clean word and key <= target; level 0 is
+          // authoritative for position, and if the early stop makes this
+          // level locally unsorted that costs a longer lower-level walk,
+          // not correctness. The load is advisory — poison landing after
+          // it is caught by the poisoned(w) arm above on the next read.
+          break;
+        }
         g.protect_value(kSlotPred, pack(cur));
         pred = cur;
-        w = g.protect(kSlotCur, pred->next[static_cast<u32>(l)]);
+        w = g.protect(kSlotCur, pred->next[ul]);
       }
       preds[l] = pred;
       succs[l] = w;
-      g.protect_value(static_cast<u32>(l), pack(pred));
+      g.protect_value(ul, pack(pred));
     }
   }
 
@@ -315,9 +494,24 @@ class LockfreeSkipListPq {
           expect_w, pack(boundary) | kMarkBit, MemOrder::kAcqRel, MemOrder::kRelaxed);
       FPQ_ASSERT_MSG(swung, "head word moved while the restructure flag was held");
       for (Node* u : prefix) {
-        // Wait out an in-flight insert still raising u's tower (bounded:
-        // inserters never wait on the restructure flag).
-        P::spin_until(u->state, [](u32 s) { return s == 1; });
+        // Wait out an in-flight insert still raising u's tower. In the
+        // fault-free protocol this wait is bounded (inserters never wait
+        // on the restructure flag), but a crashed inserter leaves state==0
+        // forever, and parking here would hang the survivor's delete_min —
+        // so probe with backoff up to a generous bound and, on timeout,
+        // abandon the rest of the prefix. The abandoned nodes are already
+        // unreachable from the head (the swing above), so they leak —
+        // bounded by the prefix length, crash runs only — instead of
+        // being retired under a still-raising tower.
+        bool linked = u->state.load_acquire() == 1;
+        if (!linked) {
+          Backoff<P> bo;
+          for (u32 i = 0; i < kStateWaitBound && !linked; ++i) {
+            bo.spin();
+            linked = u->state.load_acquire() == 1;
+          }
+        }
+        if (!linked) break;
         // Two-phase per-level retirement; see the file comment.
         for (u32 l = 1; l < u->height; ++l) {
           poison_preserving(u, l);
@@ -327,7 +521,7 @@ class LockfreeSkipListPq {
         // and the mark bit makes the word un-CAS-able for inserts and
         // claims, so a plain poison (seq_cst, §8.2) is enough here.
         u->next[0].store(kPoisonBit);
-        g.retire(u);
+        retire_node(g, u);
       }
     }
     restructuring_.value.store_release(0);
@@ -339,6 +533,8 @@ class LockfreeSkipListPq {
   /// validating load races against (DESIGN.md §8.2).
   void poison_preserving(Node* u, u32 l) {
     u64 w = u->next[l].load();
+    // contract-lint: allow(naked-spin) lock-free retry: the CAS fails only
+    // when a concurrent insert spliced a successor after u.
     for (;;) {
       FPQ_ASSERT_MSG(!poisoned(w), "level poisoned twice");
       u64 expect = w;
@@ -352,6 +548,8 @@ class LockfreeSkipListPq {
   /// so a key-guided walk could stop early; levels are short (geometric),
   /// and this runs once per restructured node per level.
   void unlink_upper(Node* u, u32 l) {
+    // contract-lint: allow(naked-spin) lock-free retry: each rewalk follows
+    // a failed CAS, which means another unlink or splice committed.
     for (;;) {
       Node* pred = head_;
       u64 w = pred->next[l].load_acquire();

@@ -8,8 +8,11 @@
 // items (this is inherent to SimpleTree/FunnelTree and allowed by quiescent
 // consistency); callers that need an item retry.
 //
-// insert returns false only on capacity exhaustion (a sizing error by the
-// caller, reported rather than silently dropped).
+// insert returns false only on resource exhaustion — bin/heap capacity (a
+// sizing error by the caller, reported rather than silently dropped), or
+// an allocation failure in the dynamically-allocated queues (only ever
+// seen under the fault engine's alloc-failure injection). Either way the
+// structure is untouched.
 //
 // Batched operations: insert_batch/delete_min_batch carry several
 // operations through one structure traversal where the algorithm supports
@@ -22,14 +25,39 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "common/assert.hpp"
 #include "common/entry.hpp"
 #include "common/types.hpp"
 #include "platform/platform.hpp"
 #include "reclaim/policy.hpp"
+#include "sync/backoff.hpp"
+#include "sync/try_budget.hpp"
 
 namespace fpq {
+
+/// Result of a bounded-wait operation (try_insert / try_delete_min).
+enum class PqStatus : u8 {
+  kOk,       // operation completed
+  kEmpty,    // delete_min observed a (quiescently) empty queue
+  kTimeout,  // budget exhausted before the operation could commit
+  kNoMemory, // allocation failed; the structure is untorn, nothing leaked
+};
+
+constexpr std::string_view to_string(PqStatus s) {
+  switch (s) {
+    case PqStatus::kOk: return "ok";
+    case PqStatus::kEmpty: return "empty";
+    case PqStatus::kTimeout: return "timeout";
+    case PqStatus::kNoMemory: return "nomem";
+  }
+  return "?";
+}
+
+// TryBudget / TryClock (the budget type of the try_* API) live in
+// sync/try_budget.hpp so the funnel and container layers can consume them
+// below this header.
 
 struct PqParams {
   /// Size of the fixed priority range [0, npriorities).
@@ -80,6 +108,24 @@ class IPriorityQueue {
   /// nondecreasing priority order; returns the count obtained. Like
   /// delete_min, may come up short under overlapping inserts.
   virtual u32 delete_min_batch(std::span<Entry> out) = 0;
+  /// Bounded-wait variants (DESIGN.md §12). Contract: kOk committed the
+  /// operation (try_delete_min filled `out`); kEmpty / kTimeout / kNoMemory
+  /// consumed and inserted *nothing* — a timed-out caller may shed load or
+  /// retry with a fresh budget and no cleanup. Queues with native
+  /// implementations (registry::has_native_try) honor the budget *inside*
+  /// an operation, so a stalled or dead lock holder yields kTimeout rather
+  /// than a hang; the generic fallback only checks the budget between full
+  /// blocking attempts and can block for as long as one attempt does.
+  virtual PqStatus try_insert(Prio prio, Item item, const TryBudget& budget) = 0;
+  virtual PqStatus try_delete_min(Entry& out, const TryBudget& budget) = 0;
+  /// Fault-battery hook (default no-op): take over the reclamation state of
+  /// the fail-stopped processor `dead` — stale hazard slots / epoch pin and
+  /// limbo — on behalf of the surviving `adopter`. Queues without dynamic
+  /// reclamation have nothing to adopt. See reclaim::Domain::adopt_orphans.
+  virtual void adopt_orphans(ProcId dead, ProcId adopter) {
+    (void)dead;
+    (void)adopter;
+  }
   virtual u32 npriorities() const = 0;
 };
 
@@ -123,6 +169,39 @@ class PqAdapter final : public IPriorityQueue<P> {
       }
       return got;
     }
+  }
+
+  PqStatus try_insert(Prio prio, Item item, const TryBudget& budget) override {
+    if constexpr (requires(Q& q) { q.try_insert(prio, item, budget); }) {
+      return q_.try_insert(prio, item, budget);
+    } else {
+      // Fallback: full blocking inserts with backoff between attempts. A
+      // refusal here is capacity exhaustion, transient under concurrent
+      // deletes, so it is retried until the budget runs out.
+      TryClock<P> clock(budget);
+      do {
+        if (q_.insert(prio, item)) return PqStatus::kOk;
+      } while (clock.tick_backoff());
+      return PqStatus::kTimeout;
+    }
+  }
+
+  PqStatus try_delete_min(Entry& out, const TryBudget& budget) override {
+    if constexpr (requires(Q& q) { q.try_delete_min(out, budget); }) {
+      return q_.try_delete_min(out, budget);
+    } else {
+      // Fallback: one blocking attempt — nullopt already means
+      // (quiescently) empty, which a bounded retry loop cannot improve on.
+      auto e = q_.delete_min();
+      if (!e) return PqStatus::kEmpty;
+      out = *e;
+      return PqStatus::kOk;
+    }
+  }
+
+  void adopt_orphans(ProcId dead, ProcId adopter) override {
+    if constexpr (requires(Q& q) { q.adopt_orphans(dead, adopter); })
+      q_.adopt_orphans(dead, adopter);
   }
 
   u32 npriorities() const override { return q_.npriorities(); }

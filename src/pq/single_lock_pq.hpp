@@ -63,6 +63,8 @@ class SingleLockPq {
     u64 i = 1;
     heap_[1].store_relaxed(last);
     const u64 limit = n - 1;
+    // contract-lint: allow(naked-spin) structurally bounded heap descent,
+    // run under the queue's one lock (no shared word is awaited).
     for (;;) {
       u64 child = i << 1;
       if (child > limit) break;

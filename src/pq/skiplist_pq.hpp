@@ -165,6 +165,8 @@ class SkipListPq {
   Link* find_pred(u32 lv, i64 key) const {
     Link* cur = head_.get();
     for (i32 l = kMaxLevel - 1; l >= static_cast<i32>(lv); --l) {
+      // contract-lint: allow(naked-spin) bounded traversal: cur strictly
+      // advances along a finite level or the loop breaks.
       for (;;) {
         Link* nxt = cur->next[l].load_acquire();
         if (nxt != nullptr && nxt->key < key)

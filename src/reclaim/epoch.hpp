@@ -55,6 +55,8 @@ class EpochDomain {
   void pin(ProcId self) {
     Shared<u64>& local = local_ref(self);
     u64 e = global_.value.load(); // seq_cst: store-buffering handshake with advance
+    // contract-lint: allow(naked-spin) lock-free retry: a failed validate
+    // means the global epoch advanced (another processor progressed).
     for (;;) {
       local.store((e << 1) | 1); // seq_cst publish of the pin
       const u64 e2 = global_.value.load(); // seq_cst re-validate
@@ -81,6 +83,27 @@ class EpochDomain {
   void flush() {
     for (int i = 0; i < 3; ++i) try_advance();
     for (auto& pp : procs_) reclaim(pp.value);
+  }
+
+  /// Fault path (DESIGN.md §12): processor `dead` fail-stopped. Its pin
+  /// word is forced to zero — safe because a fail-stopped fiber never
+  /// dereferences again, and necessary because a pin frozen at an old
+  /// epoch blocks try_advance forever, wedging reclamation for *every*
+  /// processor. Its limbo then moves to `adopter` and two advances make
+  /// the freshest entries eligible. The destructor's empty-limbo assert is
+  /// kept; this is what lets faulted runs satisfy it. Caller guarantees
+  /// `dead` is permanently stopped and serializes adoptions.
+  void adopt_orphans(ProcId dead, ProcId adopter) {
+    FPQ_ASSERT_MSG(dead < maxprocs_ && adopter < maxprocs_ && dead != adopter,
+                   "orphan adoption needs a distinct in-range survivor");
+    local_ref(dead).store(0); // seq_cst: the advance scan must see the unpin
+    Proc& from = procs_[dead].value;
+    Proc& to = procs_[adopter].value;
+    to.limbo.insert(to.limbo.end(), from.limbo.begin(), from.limbo.end());
+    from.limbo.clear();
+    try_advance();
+    try_advance();
+    reclaim(to);
   }
 
   u64 retired() const { return sum(&Proc::retired); }

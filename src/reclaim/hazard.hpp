@@ -59,6 +59,8 @@ class HazardDomain {
   u64 protect(ProcId self, u32 slot, const Shared<u64>& src) {
     Shared<u64>& h = slot_ref(self, slot);
     u64 w = src.load(); // seq_cst: store-buffering handshake with scan()
+    // contract-lint: allow(naked-spin) lock-free retry: a failed validate
+    // means the source word changed (a writer progressed).
     for (;;) {
       h.store(w & ~tag_mask_); // seq_cst publish
       const u64 w2 = src.load(); // seq_cst validate
@@ -87,6 +89,25 @@ class HazardDomain {
   /// still protected stays (the destructor asserts nothing is).
   void flush() {
     for (auto& pp : procs_) scan(pp.value);
+  }
+
+  /// Fault path (DESIGN.md §12): processor `dead` fail-stopped. Its hazard
+  /// slots are cleared — the dead fiber can never again dereference what
+  /// they protect — and its limbo list moves to `adopter`, whose next scan
+  /// frees whatever no *live* processor protects. Without this, a crashed
+  /// reader's stale hazards pin its own and every other processor's limbo
+  /// entries forever, and the destructor's empty-limbo assert (kept — it
+  /// still guards the no-fault protocol) would fire. The caller guarantees
+  /// `dead` is permanently stopped and serializes adoptions.
+  void adopt_orphans(ProcId dead, ProcId adopter) {
+    FPQ_ASSERT_MSG(dead < maxprocs_ && adopter < maxprocs_ && dead != adopter,
+                   "orphan adoption needs a distinct in-range survivor");
+    for (u32 s = 0; s < slots_per_proc_; ++s) slot_ref(dead, s).store(0); // seq_cst vs scans
+    Proc& from = procs_[dead].value;
+    Proc& to = procs_[adopter].value;
+    to.limbo.insert(to.limbo.end(), from.limbo.begin(), from.limbo.end());
+    from.limbo.clear();
+    scan(to);
   }
 
   u64 retired() const { return sum(&Proc::retired); }

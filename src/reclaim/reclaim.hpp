@@ -84,6 +84,19 @@ class Domain {
       ebr_->flush();
   }
 
+  /// Fault path (DESIGN.md §12): adopt the reclamation state of the
+  /// fail-stopped processor `dead` onto the surviving `adopter` — clear
+  /// stale hazard slots / force-unpin the dead epoch, splice limbo over,
+  /// and scan. Must run before the Domain is destroyed when a fault plan
+  /// crashed or wedged a processor mid-guard; the destructor's empty-limbo
+  /// assert stays in force either way.
+  void adopt_orphans(ProcId dead, ProcId adopter) {
+    if (hp_)
+      hp_->adopt_orphans(dead, adopter);
+    else
+      ebr_->adopt_orphans(dead, adopter);
+  }
+
   DomainStats stats() const {
     DomainStats s;
     s.retired = hp_ ? hp_->retired() : ebr_->retired();

@@ -85,10 +85,77 @@ void Engine::on_access(const void* addr, AccessKind kind, MemOrder order,
     wp.clock = std::max(wp.clock, r.completion);
     schedule(w);
   }
+  // Fault consultation happens on *every* access, hits included — the
+  // hit-elision below never runs for a faulted access, so a victim spinning
+  // on a cached line still reaches its crash/stall/wedge ordinal.
+  if (faults_) {
+    const u64 ordinal = stats_[running_].accesses - 1; // index this access got
+    if (faults_->plan().watchdog_budget != 0 &&
+        ++since_heartbeat_[running_] > faults_->plan().watchdog_budget) {
+      take_down(ProcOutcome::kWedged);
+      return;
+    }
+    const FaultEngine::Decision d = faults_->on_access(running_, ordinal);
+    if (d.action == FaultEngine::Action::kCrash) {
+      take_down(ProcOutcome::kCrashed);
+      return;
+    }
+    if (d.action == FaultEngine::Action::kStallForever) {
+      take_down(ProcOutcome::kStalledForever);
+      return;
+    }
+    if (d.stall > 0) {
+      p.clock += d.stall;
+      yield_running(); // requeued at the post-stall clock; resumes here
+      return;
+    }
+  }
   // Hits are cheap and invisible to other processors; skipping the yield on
   // them keeps host time proportional to *misses*, which is what the model
   // charges for anyway.
   if (!r.hit) yield_running();
+}
+
+void Engine::take_down(ProcOutcome o) {
+  FPQ_ASSERT(running_ != kNoProc);
+  outcomes_[running_] = o;
+  // Parked with no waiter registration: nothing ever wakes it, the run loop
+  // drops its queue entries, and run() skips restarting it while the plan
+  // stays active. The fiber's stack is reclaimed un-unwound at the next
+  // run (fail-stop: destructors do not run, locks stay held).
+  procs_[running_].blocked = true;
+  yield_running();
+  FPQ_ASSERT_MSG(false, "a downed fiber was rescheduled");
+}
+
+void Engine::set_fault_plan(FaultPlan plan) {
+  FPQ_ASSERT_MSG(!running_run_, "set_fault_plan during a run");
+  if (plan.empty()) {
+    faults_.reset();
+    outcomes_.clear();
+    since_heartbeat_.clear();
+    fault_report_.outcomes.clear();
+    return;
+  }
+  faults_ = std::make_unique<FaultEngine>(std::move(plan));
+  outcomes_.assign(nprocs(), ProcOutcome::kCompleted);
+  since_heartbeat_.assign(nprocs(), 0);
+  fault_report_.outcomes.clear();
+}
+
+void Engine::heartbeat() {
+  if (faults_ && running_ != kNoProc) since_heartbeat_[running_] = 0;
+}
+
+bool Engine::inject_cas_failure() {
+  if (!faults_ || running_ == kNoProc) return false;
+  // Pre-increment: the index this access is *about to* get in on_access.
+  return faults_->fail_cas(running_, stats_[running_].accesses);
+}
+
+bool Engine::inject_alloc_failure() {
+  if (!faults_ || running_ == kNoProc) return false;
+  return faults_->fail_alloc(running_);
 }
 
 void Engine::note_lock_acquire(const void* lock, bool trylock) {
@@ -143,12 +210,14 @@ void Engine::run(const std::function<void(ProcId)>& body) {
   }
   procs_ = std::move(fresh);
 
+  u32 live = 0;
   for (u32 i = 0; i < n; ++i) {
+    if (faults_ && perm_down(i)) continue; // a downed processor stays down
+    if (faults_) outcomes_[i] = ProcOutcome::kCompleted;
     procs_[i].fiber.start([this, &body, i] { body(i); }, params_.fiber_stack_bytes);
     schedule(i);
+    ++live;
   }
-
-  u32 live = n;
   std::exception_ptr first_error;
   while (!runq_.empty()) {
     auto [clk, sq, pid] = runq_.top();
@@ -174,7 +243,7 @@ void Engine::run(const std::function<void(ProcId)>& body) {
   running_run_ = false;
   g_current = prev;
 
-  if (live > 0 && !first_error) {
+  if (live > 0 && !first_error && !faults_) {
     std::fprintf(stderr, "funnelpq sim: deadlock — %u processor(s) blocked forever\n",
                  live);
     for (u32 i = 0; i < n; ++i) {
@@ -185,6 +254,20 @@ void Engine::run(const std::function<void(ProcId)>& body) {
                      procs_[i].wait_addr);
     }
     FPQ_ASSERT_MSG(false, "simulated deadlock: all runnable fibers exhausted");
+  }
+  if (faults_) {
+    // A faulted run ending with parked fibers is a *result*, not a bug:
+    // classify the stragglers and report instead of asserting. Processors
+    // the plan took down already carry their outcome; anything else still
+    // parked was waiting on one of them.
+    for (u32 i = 0; i < n; ++i) {
+      if (!procs_[i].fiber.done() && outcomes_[i] == ProcOutcome::kCompleted)
+        outcomes_[i] = ProcOutcome::kBlocked;
+    }
+    fault_report_.outcomes = outcomes_;
+    // Drop stale spin-waiter registrations: a later run's write to the same
+    // word must not "wake" a fiber that no longer exists.
+    memory_.clear_waiters();
   }
   for (u32 i = 0; i < n; ++i) stats_[i].clock = procs_[i].clock;
   if (first_error) std::rethrow_exception(first_error);

@@ -29,6 +29,7 @@
 #include "common/memorder.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "sim/faults.hpp"
 #include "sim/fiber.hpp"
 #include "sim/memory.hpp"
 #include "sim/params.hpp"
@@ -92,6 +93,28 @@ class Engine {
   void note_lock_acquire(const void* lock, bool trylock);
   void note_lock_release(const void* lock);
 
+  // ---- Fault injection (sim/faults.hpp).
+
+  /// Installs (or, with an empty plan, removes) a fault plan. Resets all
+  /// fault state: processors killed by a previous plan come back to life.
+  /// Must be called between runs. With a plan active, a run that ends with
+  /// processors parked forever *returns* (outcomes in fault_report())
+  /// instead of tripping the deadlock assertion.
+  void set_fault_plan(FaultPlan plan);
+  bool fault_plan_active() const { return faults_ != nullptr; }
+  /// Per-processor outcome of the most recent run(); meaningful only while
+  /// a plan is active.
+  const FaultReport& fault_report() const { return fault_report_; }
+  /// Liveness pulse: resets the calling processor's watchdog counter. The
+  /// harness calls this between queue operations; a processor that spends
+  /// FaultPlan::watchdog_budget accesses inside one operation is wedged.
+  void heartbeat();
+  /// Consulted by SimShared::compare_exchange before the data effect; true
+  /// means this CAS must fail spuriously (see FaultKind::kCasFail).
+  bool inject_cas_failure();
+  /// Consulted by SimPlatform::try_alloc; true means return nullptr.
+  bool inject_alloc_failure();
+
  private:
   struct Proc {
     Cycles clock = 0;
@@ -125,6 +148,22 @@ class Engine {
   /// Happens-before race detector (params.race_detect); observes accesses
   /// without perturbing their timing.
   std::unique_ptr<RaceDetector> detector_;
+  /// Fault-injection decision core (set_fault_plan); null = no plan.
+  std::unique_ptr<FaultEngine> faults_;
+  /// Per-proc outcome, persistent across runs while a plan is active:
+  /// kCrashed/kStalledForever/kWedged processors are never restarted.
+  std::vector<ProcOutcome> outcomes_;
+  std::vector<u64> since_heartbeat_;
+  FaultReport fault_report_;
+  /// True while a plan is active: this processor must never run again.
+  bool perm_down(ProcId p) const {
+    const ProcOutcome o = outcomes_[p];
+    return o == ProcOutcome::kCrashed || o == ProcOutcome::kStalledForever ||
+           o == ProcOutcome::kWedged;
+  }
+  /// Parks the running fiber forever with the given outcome (never returns
+  /// control to the caller's fiber within this run).
+  void take_down(ProcOutcome o);
 };
 
 } // namespace fpq::sim

@@ -1,0 +1,142 @@
+#include "sim/faults.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace fpq::sim {
+
+namespace {
+
+u64 window(const FaultEvent& e) { return e.count == 0 ? 1 : e.count; }
+
+[[noreturn]] void bad(std::string_view s, const char* why) {
+  throw std::invalid_argument("fault plan \"" + std::string(s) + "\": " + why);
+}
+
+u64 parse_u64(std::string_view s, std::string_view& rest, std::string_view whole) {
+  u64 v = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [p, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || p == first) bad(whole, "expected a number");
+  rest = std::string_view(p, static_cast<std::size_t>(last - p));
+  return v;
+}
+
+FaultEvent parse_event(std::string_view tok, std::string_view whole) {
+  FaultEvent e;
+  bool known = false;
+  for (FaultKind k : {FaultKind::kCrash, FaultKind::kStall, FaultKind::kCasFail,
+                      FaultKind::kAllocFail}) {
+    const std::string_view name = to_string(k);
+    if (tok.size() > name.size() && tok.substr(0, name.size()) == name &&
+        tok[name.size()] == '@') {
+      e.kind = k;
+      tok.remove_prefix(name.size() + 1);
+      known = true;
+      break;
+    }
+  }
+  if (!known) bad(whole, "unknown fault kind (want crash/stall/casfail/allocfail)");
+  if (tok.empty() || tok[0] != 'p') bad(whole, "expected p<proc>");
+  tok.remove_prefix(1);
+  e.proc = static_cast<ProcId>(parse_u64(tok, tok, whole));
+  if (tok.empty() || tok[0] != 'a') bad(whole, "expected a<ordinal>");
+  tok.remove_prefix(1);
+  e.at = parse_u64(tok, tok, whole);
+  if (!tok.empty()) {
+    if (tok[0] != 'n') bad(whole, "expected n<count> or end of event");
+    tok.remove_prefix(1);
+    e.count = parse_u64(tok, tok, whole);
+    if (!tok.empty()) bad(whole, "trailing junk after n<count>");
+  }
+  return e;
+}
+
+} // namespace
+
+std::string to_string(const FaultPlan& plan) {
+  if (plan.events.empty()) return "none";
+  std::string out;
+  for (const FaultEvent& e : plan.events) {
+    if (!out.empty()) out += ',';
+    out += to_string(e.kind);
+    out += "@p";
+    out += std::to_string(e.proc);
+    out += 'a';
+    out += std::to_string(e.at);
+    if (e.count != 0) {
+      out += 'n';
+      out += std::to_string(e.count);
+    }
+  }
+  return out;
+}
+
+FaultPlan fault_plan_from_string(std::string_view s) {
+  FaultPlan plan;
+  if (s.empty() || s == "none") return plan;
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view tok = s.substr(0, comma);
+    if (tok.empty()) bad(s, "empty event");
+    plan.events.push_back(parse_event(tok, s));
+    if (comma == std::string_view::npos) {
+      s = {};
+    } else {
+      s = s.substr(comma + 1);
+      if (s.empty()) bad(tok, "trailing comma");
+    }
+  }
+  return plan;
+}
+
+FaultEngine::Decision FaultEngine::on_access(ProcId p, u64 ordinal) const {
+  Decision d;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.proc != p) continue;
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (ordinal >= e.at) return {Action::kCrash, 0};
+        break;
+      case FaultKind::kStall:
+        if (e.count == 0) {
+          if (ordinal >= e.at) return {Action::kStallForever, 0};
+        } else if (ordinal == e.at) {
+          d.stall += e.count;
+        }
+        break;
+      case FaultKind::kCasFail:
+      case FaultKind::kAllocFail: break; // handled on their own paths
+    }
+  }
+  return d;
+}
+
+// Crash/stall-forever match at `ordinal >= at`, not `==`: when a victim
+// resumes in a later Engine::run() its stream continues above `at`, and a
+// plan pinned to an exact ordinal would silently never fire — firing at
+// the first opportunity keeps "kill proc 1 somewhere around access N"
+// plans honest under sweeps that vary N past the victim's access count.
+
+bool FaultEngine::fail_cas(ProcId p, u64 ordinal) const {
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kCasFail && e.proc == p && ordinal >= e.at &&
+        ordinal < e.at + window(e))
+      return true;
+  }
+  return false;
+}
+
+bool FaultEngine::fail_alloc(ProcId p) {
+  if (alloc_ordinal_.size() <= p) alloc_ordinal_.resize(p + 1, 0);
+  const u64 ordinal = alloc_ordinal_[p]++;
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kAllocFail && e.proc == p && ordinal >= e.at &&
+        ordinal < e.at + window(e))
+      return true;
+  }
+  return false;
+}
+
+} // namespace fpq::sim

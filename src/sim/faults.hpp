@@ -1,0 +1,142 @@
+// Schedule-driven fault injection for the simulator.
+//
+// A FaultPlan is a small list of events, each pinned to a victim processor
+// and an *ordinal* on that processor — the index of a shared-memory access
+// (crash / stall / spurious-CAS-failure) or of a Platform::try_alloc call
+// (allocation failure). Ordinals count from 0 over the engine's lifetime,
+// exactly mirroring ProcStats::accesses, so for a fixed (program, machine
+// params, seed) a plan names the same machine state in every process: fault
+// runs replay through the same one-line specs as the stress harness
+// (verify/stress.hpp `faults=`, verify/liveness.hpp).
+//
+// Fault semantics (see DESIGN.md §12):
+//   * crash   — the access's data effect commits, then the fiber dies: it
+//               is never scheduled again, across run() calls too. No stack
+//               unwinding happens, so locks stay held and limbo lists stay
+//               populated — the fail-stop model, not an exception.
+//   * stall   — the access commits, then the fiber's local clock jumps by
+//               `count` cycles (every other fiber runs meanwhile); count 0
+//               stalls it forever (crash, minus the connotation).
+//   * casfail — the next `count` compare_exchange calls that would land on
+//               the given ordinal fail spuriously: the data effect is
+//               suppressed, `expected` is refreshed, and the access is
+//               charged at its failure order. Models weak-CAS spurious
+//               failure, which the sim's strong CAS otherwise never shows.
+//   * allocfail — the victim's try_alloc calls numbered [at, at+count)
+//               return nullptr.
+//
+// The plan also carries the liveness watchdog budget: a processor that
+// performs that many shared accesses without calling Engine::heartbeat()
+// is declared wedged and parked, which is what turns "a lock-based queue
+// hangs behind a dead lock holder" into a reported outcome instead of a
+// hung test (the heartbeat is the harness's per-operation pulse).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace fpq::sim {
+
+enum class FaultKind : u8 { kCrash, kStall, kCasFail, kAllocFail };
+
+constexpr std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kCasFail: return "casfail";
+    case FaultKind::kAllocFail: return "allocfail";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  ProcId proc = 0;
+  /// Victim-processor ordinal the event fires at: a shared-access index
+  /// (crash/stall/casfail) or a try_alloc call index (allocfail).
+  u64 at = 0;
+  /// stall: cycles, 0 = forever. casfail/allocfail: how many consecutive
+  /// ordinals starting at `at` fail (0 behaves as 1). crash: ignored.
+  u64 count = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  /// Shared accesses a processor may perform without Engine::heartbeat()
+  /// before being declared wedged; 0 disables the watchdog.
+  u64 watchdog_budget = 0;
+
+  bool empty() const { return events.empty() && watchdog_budget == 0; }
+};
+
+/// One-line replay form: events joined by ',', each
+/// `<kind>@p<proc>a<at>[n<count>]`, e.g. "crash@p1a120,stall@p2a50n400".
+/// The watchdog budget travels as a separate spec key, not in this string.
+/// An empty plan prints as "none".
+std::string to_string(const FaultPlan& plan);
+/// Inverse of to_string; throws std::invalid_argument on malformed input.
+FaultPlan fault_plan_from_string(std::string_view s);
+
+/// What became of each simulated processor once a faulted run drained.
+enum class ProcOutcome : u8 {
+  kCompleted,      // body returned normally
+  kCrashed,        // killed by a crash event
+  kStalledForever, // stall event with count 0
+  kWedged,         // exceeded the watchdog budget without a heartbeat
+  kBlocked,        // still parked in spin_until when the run ended
+};
+
+constexpr std::string_view to_string(ProcOutcome o) {
+  switch (o) {
+    case ProcOutcome::kCompleted: return "completed";
+    case ProcOutcome::kCrashed: return "crashed";
+    case ProcOutcome::kStalledForever: return "stalled";
+    case ProcOutcome::kWedged: return "wedged";
+    case ProcOutcome::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+struct FaultReport {
+  std::vector<ProcOutcome> outcomes; // indexed by ProcId
+  u32 count(ProcOutcome o) const {
+    u32 n = 0;
+    for (ProcOutcome x : outcomes) n += (x == o) ? 1u : 0u;
+    return n;
+  }
+  /// Processors taken out by the plan itself (not by waiting on them).
+  u32 faulted() const {
+    return count(ProcOutcome::kCrashed) + count(ProcOutcome::kStalledForever);
+  }
+};
+
+/// Decision core consulted by the engine on every shared access / CAS /
+/// allocation. Pure bookkeeping: all scheduling effects live in Engine.
+class FaultEngine {
+ public:
+  enum class Action : u8 { kNone, kCrash, kStallForever };
+  struct Decision {
+    Action action = Action::kNone;
+    Cycles stall = 0; // nonzero: finite stall (action == kNone)
+  };
+
+  explicit FaultEngine(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Consulted once per shared access, with the index that access got.
+  Decision on_access(ProcId p, u64 ordinal) const;
+  /// Consulted by SimShared::compare_exchange *before* the data effect.
+  bool fail_cas(ProcId p, u64 ordinal) const;
+  /// Consulted per try_alloc call; per-proc call ordinals tracked here.
+  bool fail_alloc(ProcId p);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<u64> alloc_ordinal_; // grown on demand, indexed by ProcId
+};
+
+} // namespace fpq::sim

@@ -97,6 +97,13 @@ class MemoryModel {
   /// Parks `proc` as a spin-waiter on the word.
   void add_waiter(const void* addr, ProcId proc) { line(addr).waiters.push_back(proc); }
 
+  /// Drops every parked spin-waiter registration. Fault-plan teardown only:
+  /// a faulted run may end with fibers parked forever, and their stale
+  /// registrations must not be "woken" by a later run's writes.
+  void clear_waiters() {
+    for (auto& [k, l] : lines_) l.waiters.clear();
+  }
+
   const MemStats& stats() const { return stats_; }
   const MachineParams& params() const { return params_; }
 

@@ -7,6 +7,17 @@
 // Each lock owns one queue node per processor: a processor never waits on
 // the same lock twice concurrently, so the slot can be reused (this is the
 // standard qnode allocation of the original paper).
+//
+// Liveness audit (fault battery, DESIGN.md §12): every wait in this file —
+// the acquire spin on the local locked flag and release()'s wait for a
+// half-enqueued successor's link — goes through P::spin_until, which parks
+// the fiber on the simulator and relax-then-escalates natively. There are
+// no naked spins here: under a stall/crash plan a blocked acquirer shows
+// up as a parked (kBlocked) or watchdog-wedged processor, never as a
+// scheduler-monopolizing hot loop. The lock itself is, of course,
+// blocking — a dead holder strands the queue; that is the property the
+// liveness battery classifies, and McsLock::try_acquire is the primitive
+// the bounded-wait (try_*) degraded paths build on.
 #pragma once
 
 #include <memory>

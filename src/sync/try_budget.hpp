@@ -1,0 +1,58 @@
+// Budgeting for bounded-wait ("try") operations: a TryBudget caps how many
+// retry points an operation may pass (attempts) and/or how long it may run
+// (a P::now() deadline), and a TryClock meters one operation against it,
+// escalating through randomized-exponential backoff between charged
+// retries. Lives in sync/ because the funnel and container layers consume
+// it below the PQ API (pq/pq.hpp re-exports it to PQ callers).
+#pragma once
+
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "sync/backoff.hpp"
+
+namespace fpq {
+
+/// Budget for a bounded-wait operation. `attempts` bounds how many retry
+/// points (contended CAS retries, lock try-acquisitions, full-operation
+/// restarts) the operation may pass; `spend` is a deadline in P::now()
+/// units (simulated cycles / native nanoseconds), checked at the same
+/// retry points. 0 disables the respective bound; both at 0 means the
+/// operation degenerates to its blocking form.
+struct TryBudget {
+  u64 attempts = 128;
+  Cycles spend = 0;
+};
+
+/// Per-call budget meter: charges retry points against a TryBudget and
+/// interleaves randomized-exponential backoff (sync/backoff.hpp) between
+/// charged retries, so a timing-out operation escalates politely instead
+/// of hammering the contended word until the deadline.
+template <Platform P>
+class TryClock {
+ public:
+  explicit TryClock(const TryBudget& b)
+      : budget_(b), deadline_(b.spend != 0 ? P::now() + b.spend : 0) {}
+
+  /// Charges one retry point; false once the budget is exhausted. The
+  /// first `attempts` retries pass; the deadline is checked each time.
+  bool tick() {
+    if (budget_.attempts != 0 && ++used_ > budget_.attempts) return false;
+    if (deadline_ != 0 && P::now() >= deadline_) return false;
+    return true;
+  }
+
+  /// tick(), then one backoff window when the budget still has room.
+  bool tick_backoff() {
+    if (!tick()) return false;
+    backoff_.spin();
+    return true;
+  }
+
+ private:
+  TryBudget budget_;
+  Cycles deadline_;
+  u64 used_ = 0;
+  Backoff<P> backoff_;
+};
+
+} // namespace fpq

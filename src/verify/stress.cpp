@@ -71,7 +71,12 @@ std::string to_line(const StressSpec& s) {
      << " nprio=" << s.npriorities << " ins=" << s.insert_percent
      << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
      << " jitter=" << s.access_jitter << " batch=" << s.batch << " elim=" << s.elim
-     << " reclaim=" << reclaim::to_string(s.reclaim) << " lin=" << (s.check_lin ? 1 : 0) << " race=" << (s.race_detect ? 1 : 0);
+     << " reclaim=" << reclaim::to_string(s.reclaim) << " lin=" << (s.check_lin ? 1 : 0)
+     << " race=" << (s.race_detect ? 1 : 0);
+  // Fault keys only when non-default, so fault-free replay lines are
+  // byte-identical to what earlier versions emitted.
+  if (!s.faults.empty()) os << " faults=" << sim::to_string(s.faults);
+  if (s.watchdog != 0) os << " watchdog=" << s.watchdog;
   return os.str();
 }
 
@@ -124,6 +129,10 @@ StressSpec spec_from_line(const std::string& line) {
       s.check_lin = val != "0";
     } else if (key == "race") {
       s.race_detect = val != "0";
+    } else if (key == "faults") {
+      s.faults = sim::fault_plan_from_string(val);
+    } else if (key == "watchdog") {
+      s.watchdog = std::stoull(val);
     } else {
       throw std::invalid_argument("unknown stress spec key: " + key);
     }
@@ -164,18 +173,36 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
   auto pq = make(params);
   HistoryRecorder rec(spec.nprocs);
   std::vector<std::vector<Entry>> ins(spec.nprocs), del(spec.nprocs);
+  // Inserts a crashed processor may have half-applied: recorded *before*
+  // the call so the faulted-run no-fabrication check has the full universe
+  // of entries that could legally surface.
+  std::vector<std::vector<Entry>> attempted(spec.nprocs);
   bool insert_refused = false;
+  // Under an alloc-failure plan a refused insert is the injected failure
+  // doing its job (a recorded no-op), not a sizing bug.
+  bool alloc_plan = false;
+  for (const sim::FaultEvent& e : spec.faults.events)
+    alloc_plan |= e.kind == sim::FaultKind::kAllocFail;
 
   sim::Engine eng(spec.nprocs, spec.machine(), spec.seed);
+  if (spec.faulted()) {
+    sim::FaultPlan plan = spec.faults;
+    plan.watchdog_budget = spec.watchdog;
+    eng.set_fault_plan(std::move(plan));
+  }
   if (spec.batch <= 1) {
     eng.run([&](ProcId id) {
       for (u32 i = 0; i < spec.ops_per_proc; ++i) {
+        SimPlatform::heartbeat(); // op boundary: feeds the fault watchdog
         SimPlatform::delay(SimPlatform::rnd(64));
         if (SimPlatform::rnd(100) < spec.insert_percent) {
           const Entry e{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
                         (static_cast<u64>(id) << 20) | i};
+          attempted[id].push_back(e);
           const Cycles t0 = SimPlatform::now();
           if (!pq->insert(e.prio, e.item)) {
+            attempted[id].pop_back(); // refused: nothing could have applied
+            if (alloc_plan) continue;
             insert_refused = true;
             return;
           }
@@ -201,23 +228,28 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
     eng.run([&](ProcId id) {
       std::vector<Entry> buf(spec.batch);
       for (u32 i = 0; i < spec.ops_per_proc;) {
+        SimPlatform::heartbeat(); // op boundary: feeds the fault watchdog
         SimPlatform::delay(SimPlatform::rnd(64));
         const u32 n = std::min(spec.batch, spec.ops_per_proc - i);
         if (SimPlatform::rnd(100) < spec.insert_percent) {
           for (u32 j = 0; j < n; ++j)
             buf[j] = Entry{static_cast<Prio>(SimPlatform::rnd(spec.npriorities)),
                            (static_cast<u64>(id) << 20) | (i + j)};
+          for (u32 j = 0; j < n; ++j) attempted[id].push_back(buf[j]);
           const Cycles t0 = SimPlatform::now();
           const u32 a = pq->insert_batch(std::span<const Entry>(buf.data(), n));
           const Cycles t1 = SimPlatform::now();
-          if (a != n) {
+          if (a != n && !alloc_plan) {
             insert_refused = true;
             return;
           }
-          for (u32 j = 0; j < n; ++j) {
-            rec.record(OpRecord::insert_op(id, t0, t1, buf[j]));
-            ins[id].push_back(buf[j]);
-          }
+          if (a == n) {
+            for (u32 j = 0; j < n; ++j) {
+              rec.record(OpRecord::insert_op(id, t0, t1, buf[j]));
+              ins[id].push_back(buf[j]);
+            }
+          } // else: injected refusals — which elements landed is unknown;
+            // the faulted-run no-fabrication check covers them via `attempted`
         } else {
           const Cycles t0 = SimPlatform::now();
           const u32 m = pq->delete_min_batch(std::span<Entry>(buf.data(), n));
@@ -240,18 +272,38 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
   if (insert_refused)
     return fail("capacity", "insert refused: bin/heap capacity exhausted (sizing bug)");
 
-  // Quiescent drain by processor 0; recorded so the trace shows it.
+  // Quiescent drain; normally by processor 0, but under a fault plan by
+  // the lowest processor the plan left able to run (a permanently-downed
+  // processor never restarts, and a drain on a blocked one just parks).
+  ProcId drainer = 0;
+  if (spec.faulted()) {
+    const auto& oc = eng.fault_report().outcomes;
+    while (drainer < spec.nprocs && oc[drainer] != sim::ProcOutcome::kCompleted &&
+           oc[drainer] != sim::ProcOutcome::kBlocked)
+      ++drainer;
+    if (drainer == spec.nprocs) drainer = 0; // everyone down: drain no-ops
+  }
   std::vector<Entry> drained;
   eng.run([&](ProcId id) {
-    if (id != 0) return;
+    if (id != drainer) return;
     for (;;) {
+      SimPlatform::heartbeat();
       const Cycles t0 = SimPlatform::now();
       auto e = pq->delete_min();
-      rec.record(OpRecord::delete_op(0, t0, SimPlatform::now(), e));
+      rec.record(OpRecord::delete_op(drainer, t0, SimPlatform::now(), e));
       if (!e) break;
       drained.push_back(*e);
     }
   });
+
+  if (spec.faulted()) {
+    // Sweep every other processor's reclamation state onto the drainer:
+    // downed processors can never clear their own hazards / epoch pin, and
+    // without adoption the queue's domain destructor would assert on the
+    // limbo their stale protections pin.
+    for (ProcId p = 0; p < spec.nprocs; ++p)
+      if (p != drainer) pq->adopt_orphans(p, drainer);
+  }
 
   // Detector findings outrank the semantic checks: an undeclared-ordering
   // bug can make any of them fail downstream on native hardware.
@@ -277,6 +329,31 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
 
   std::vector<Entry> out(deleted);
   out.insert(out.end(), drained.begin(), drained.end());
+
+  if (spec.faulted()) {
+    // A downed processor's in-flight op may legally half-apply (an insert
+    // that committed before the crash surfaces later; a claimed-but-
+    // unreported delete vanishes), so strict conservation is unverifiable.
+    // What must still hold is no-fabrication: every entry that comes out
+    // was attempted, and no entry comes out more often than it went in.
+    std::map<std::pair<Prio, u64>, i64> budgeted;
+    for (const auto& v : attempted)
+      for (const Entry& e : v) ++budgeted[{e.prio, e.item}];
+    for (const Entry& e : out) {
+      if (--budgeted[{e.prio, e.item}] < 0) {
+        std::ostringstream os;
+        os << "fault run fabricated or duplicated entry (" << e.prio << "," << e.item
+           << "): returned more often than it was ever inserted";
+        return fail("fault-conservation", os.str());
+      }
+    }
+    if (checks.quiescent_rank) {
+      const PhaseCheckResult dr = check_drain_sorted(drained);
+      if (!dr.ok) return fail("drain-order", dr.diagnostic);
+    }
+    return std::nullopt; // rank/lin checks assume crash-free histories
+  }
+
   if (!same_entries(inserted, out)) {
     std::ostringstream os;
     os << "conservation violated: inserted " << inserted.size()
@@ -377,6 +454,8 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.elim = opt.elim;
       spec.reclaim = opt.reclaim;
       spec.race_detect = opt.race_detect;
+      spec.faults = opt.faults;
+      spec.watchdog = opt.watchdog;
       // The baseline policy stays jitter-free: it is the paper's
       // measurement schedule, kept as the known-good reference point.
       spec.access_jitter =

@@ -33,6 +33,7 @@
 #include "core/registry.hpp"
 #include "reclaim/policy.hpp"
 #include "platform/sim.hpp"
+#include "sim/faults.hpp"
 #include "verify/history.hpp"
 
 namespace fpq::verify {
@@ -71,6 +72,20 @@ struct StressSpec {
   /// failure of kind "race" or "lock-order". Timing is unchanged, so a spec
   /// replays identically with the flag on or off.
   bool race_detect = false;
+  /// Fault plan injected into the scenario's engine (sim/faults.hpp);
+  /// empty = fault-free. Under a non-empty plan the strict conservation /
+  /// quiescent checks are replaced by the weaker no-fabrication check (a
+  /// crashed processor's in-flight op may legally half-apply), and an
+  /// insert refusal under an alloc-failure plan is a recorded no-op rather
+  /// than a capacity failure. Serialized in the replay line as faults= /
+  /// watchdog=, so minimized fault counterexamples replay like any other.
+  sim::FaultPlan faults;
+  /// Watchdog budget (accesses between P::heartbeat() calls) forwarded to
+  /// FaultPlan::watchdog_budget; 0 disables. Required for plans that stall
+  /// a lock holder whose waiters spin without parking.
+  u64 watchdog = 0;
+
+  bool faulted() const { return !faults.empty() || watchdog != 0; }
 
   /// Machine for this scenario: default timing, spec's scheduling.
   sim::MachineParams machine() const;
@@ -86,7 +101,7 @@ sim::SchedulePolicy policy_from_string(std::string_view name);
 struct StressFailure {
   StressSpec spec;
   std::string kind; // conservation | quiescent | drain-order | linearizability
-                    // | capacity | race | lock-order
+                    // | capacity | race | lock-order | fault-conservation
   std::string diagnostic;
   /// Recorded op trace: the mixed phase (all procs) then the quiescent
   /// drain (proc 0), in invocation order.
@@ -140,6 +155,10 @@ struct StressOptions {
   reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
   /// Forwarded into every spec (StressSpec::race_detect).
   bool race_detect = false;
+  /// Fault plan / watchdog budget forwarded into every spec — a sweep over
+  /// a hostile plan across the whole registry (StressSpec::faults).
+  sim::FaultPlan faults;
+  u64 watchdog = 0;
   bool minimize_failures = true;
   /// Stop sweeping after this many failures (each is minimized).
   u32 max_failures = 1;

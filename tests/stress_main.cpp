@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "verify/liveness.hpp"
 #include "verify/stress.hpp"
 
 namespace {
@@ -66,6 +67,13 @@ int usage(const char* argv0) {
       << "  --reclaim=hp|ebr     memory-reclamation policy for reclaiming queues\n"
       << "  --race-detect        attach the happens-before race detector and the\n"
       << "                       lock-order checker to every scenario (DESIGN.md §10)\n"
+      << "  --faults=PLAN        inject a fault plan into every scenario, e.g.\n"
+      << "                       crash@p1a500 or stall@p0a200n1000,casfail@p2a50n8\n"
+      << "  --watchdog=N         per-processor heartbeat budget (accesses between op\n"
+      << "                       boundaries) before a spinner is declared wedged\n"
+      << "  --liveness           run the progress-guarantee battery instead of the\n"
+      << "                       checker sweep: crash/stall plans against every\n"
+      << "                       algorithm, declared-vs-observed table (DESIGN.md §12)\n"
       << "  --max-failures=N     stop after N minimized counterexamples (default 1)\n"
       << "  --no-minimize        report the first failure unshrunk\n"
       << "  --quiet              suppress per-combination progress\n"
@@ -82,6 +90,10 @@ int main(int argc, char** argv) {
 
   StressOptions opt;
   bool quiet = false;
+  bool liveness = false;
+  // The liveness battery has its own workload defaults (deeper runs so the
+  // fault ordinals land mid-operation); only explicit flags override them.
+  bool procs_set = false, ops_set = false;
   std::string replay_line;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,8 +112,10 @@ int main(int argc, char** argv) {
         opt.seed_base = std::stoull(val());
       } else if (arg.rfind("--procs=", 0) == 0) {
         opt.nprocs = static_cast<fpq::u32>(std::stoul(val()));
+        procs_set = true;
       } else if (arg.rfind("--ops=", 0) == 0) {
         opt.ops_per_proc = static_cast<fpq::u32>(std::stoul(val()));
+        ops_set = true;
       } else if (arg.rfind("--nprio=", 0) == 0) {
         opt.npriorities = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--insert-pct=", 0) == 0) {
@@ -116,6 +130,12 @@ int main(int argc, char** argv) {
         opt.reclaim = fpq::reclaim::policy_from_string(val());
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        opt.faults = fpq::sim::fault_plan_from_string(val());
+      } else if (arg.rfind("--watchdog=", 0) == 0) {
+        opt.watchdog = std::stoull(val());
+      } else if (arg == "--liveness") {
+        liveness = true;
       } else if (arg == "--race-detect") {
         opt.race_detect = true;
       } else if (arg == "--no-minimize") {
@@ -144,6 +164,21 @@ int main(int argc, char** argv) {
     std::cerr << "need --procs/--ops/--nprio/--seeds/--batch >= 1 and "
                  "--insert-pct <= 100\n";
     return usage(argv[0]);
+  }
+
+  if (liveness) {
+    LivenessBatteryOptions lopt;
+    lopt.algorithms = opt.algorithms;
+    lopt.reclaim = opt.reclaim;
+    lopt.seed = opt.seed_base;
+    if (procs_set) lopt.nprocs = opt.nprocs;
+    if (ops_set) lopt.ops_per_proc = opt.ops_per_proc;
+    const std::vector<LivenessRow> rows =
+        run_liveness_battery(lopt, quiet ? nullptr : &std::cout);
+    std::cout << format_liveness_table(rows);
+    for (const LivenessRow& r : rows)
+      if (!r.ok) return 1;
+    return 0;
   }
 
   if (!replay_line.empty()) {

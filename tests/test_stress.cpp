@@ -216,6 +216,15 @@ class UnlockedBinQueue final : public IPriorityQueue<SimPlatform> {
     return got;
   }
 
+  PqStatus try_insert(Prio prio, Item item, const TryBudget&) override {
+    return insert(prio, item) ? PqStatus::kOk : PqStatus::kTimeout;
+  }
+  PqStatus try_delete_min(Entry& out, const TryBudget&) override {
+    auto e = delete_min();
+    if (!e) return PqStatus::kEmpty;
+    out = *e;
+    return PqStatus::kOk;
+  }
   u32 npriorities() const override { return npriorities_; }
 
  private:

@@ -32,7 +32,21 @@ are cheap to catch at review time:
                    exist. Deleted-function declarations (`= delete`) are
                    not flagged.
 
-A line is waived by a trailing or immediately-preceding comment:
+  naked-spin       an unbounded loop (`for (;;)`, `while (true)`,
+                   `while (1)`) outside src/sync/ whose body shows no
+                   escalation or parking token — no Backoff, spin_until /
+                   wait_on, P::relax / pause, heartbeat, or TryClock
+                   tick. Under the fault model (DESIGN.md §12) such a
+                   loop spinning on a dead processor's word monopolizes
+                   the simulated core invisibly: the hit-elision rule
+                   never yields and the watchdog cannot distinguish it
+                   from progress. Genuine lock-free retry loops (each
+                   iteration re-reads shared state and one CAS failure
+                   implies another processor progressed) carry a waiver
+                   saying so.
+
+A line is waived by a trailing comment, or by a comment anywhere in the
+contiguous `//` block immediately above it:
 
     // contract-lint: allow(<rule>) <reason>
 
@@ -59,6 +73,11 @@ SEQ_CST_EXEMPT_DIRS = ["src/platform", "src/bench_support", "src/sim", "src/comm
 # The reclamation layer is where deferred frees are implemented; its
 # deleters are the one place a real `delete` belongs.
 NAKED_RECLAIM_EXEMPT_DIRS = ["src/reclaim"]
+# src/sync implements the escalation primitives themselves (Backoff, the
+# lock slow paths); the platform/sim layers host the scheduler and the
+# native backend's host-side loops, which the fault model does not cover.
+NAKED_SPIN_EXEMPT_DIRS = ["src/sync", "src/platform", "src/sim",
+                          "src/bench_support", "src/common"]
 
 DESIGN_DOC = "DESIGN.md"
 EXEMPTION_SECTION = "### 8.2"
@@ -82,6 +101,18 @@ UNPADDED_SHARED_RE = re.compile(
 # `= delete ;`), which end the statement rather than name an operand.
 NAKED_DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?(?=[A-Za-z_(*:])")
 NAKED_FREE_RE = re.compile(r"\b(?:std\s*::\s*)?free\s*\(")
+# An unbounded loop head; the body is then searched for escalation tokens.
+NAKED_SPIN_HEAD_RE = re.compile(
+    r"\bfor\s*\(\s*;\s*;\s*\)|\bwhile\s*\(\s*(?:true|1)\s*\)"
+)
+# Anything that makes an unbounded loop visible to the fault model: backoff
+# escalation (Backoff members or .spin()), the engine's parking facility
+# (spin_until/wait_on), an explicit pause/relax, a liveness heartbeat, or a
+# TryClock budget charge.
+SPIN_ESCALATION_RE = re.compile(
+    r"Backoff|backoff|spin_until|wait_on|\brelax\(|\bpause\(|\.spin\(|"
+    r"heartbeat\(|tick\(|tick_backoff\("
+)
 
 
 def parse_exemptions(design_path: Path) -> set[str]:
@@ -98,12 +129,44 @@ def parse_exemptions(design_path: Path) -> set[str]:
     return set(re.findall(r"^\|\s*`([^`]+)`\s*\|", section, flags=re.MULTILINE))
 
 
+def spin_body(lines: list[str], idx: int) -> str:
+    """The loop body starting at the loop head on lines[idx]: joined code
+    (comments stripped) until the body's braces balance, or the single
+    following statement for an unbraced loop. Bounded lookahead."""
+    depth = 0
+    opened = False
+    out: list[str] = []
+    j = idx
+    while j < len(lines) and j - idx < 200:
+        code = lines[j].split("//", 1)[0]
+        out.append(code)
+        for ch in code:
+            if ch == "{":
+                depth += 1
+                opened = True
+            elif ch == "}":
+                depth -= 1
+        if opened and depth <= 0:
+            break
+        if not opened and j > idx and code.strip():
+            break  # unbraced single-statement body
+        j += 1
+    return "\n".join(out)
+
+
 def waived(rule: str, lines: list[str], idx: int) -> bool:
-    for look in (idx, idx - 1):
-        if 0 <= look < len(lines):
-            m = WAIVER_RE.search(lines[look])
-            if m and m.group(1) == rule:
-                return True
+    """Trailing waiver on the line itself, or anywhere in the contiguous
+    comment block immediately above it (multi-line waiver comments)."""
+    if 0 <= idx < len(lines):
+        m = WAIVER_RE.search(lines[idx])
+        if m and m.group(1) == rule:
+            return True
+    look = idx - 1
+    while look >= 0 and lines[look].lstrip().startswith("//"):
+        m = WAIVER_RE.search(lines[look])
+        if m and m.group(1) == rule:
+            return True
+        look -= 1
     return False
 
 
@@ -121,6 +184,9 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
     )
     naked_reclaim_scanned = not any(
         rel.startswith(d + "/") for d in NAKED_RECLAIM_EXEMPT_DIRS
+    )
+    naked_spin_scanned = not any(
+        rel.startswith(d + "/") for d in NAKED_SPIN_EXEMPT_DIRS
     )
 
     for idx, line in enumerate(lines):
@@ -160,6 +226,13 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
                     "naked delete/free outside src/reclaim — Shared-reachable "
                     "nodes must die via reclaim::Guard::retire (DESIGN.md §11); "
                     "waive only with an argument why no concurrent reader exists")
+        if naked_spin_scanned and NAKED_SPIN_HEAD_RE.search(code):
+            if not SPIN_ESCALATION_RE.search(spin_body(lines, idx)):
+                finding(idx, "naked-spin",
+                        "unbounded loop with no backoff/park/heartbeat token — "
+                        "invisible to the fault watchdog (DESIGN.md §12); route "
+                        "it through Backoff/TryClock or waive with a lock-free "
+                        "progress argument")
     return findings
 
 
@@ -230,6 +303,24 @@ SELF_TEST_CASES = [
      "delete cur; // contract-lint: allow(naked-reclaim) quiescent owner teardown"),
     (None, "src/pq/x.hpp", "// delete-min scans the prefix"),
     (None, "src/pq/x.hpp", "g.retire(u); // deferred free"),
+    ("naked-spin", "src/pq/x.hpp",
+     "for (;;) {\n  if (w.load_acquire() == 0) break;\n}"),
+    ("naked-spin", "src/funnel/x.hpp",
+     "while (true) {\n  v = w.load_acquire();\n}"),
+    ("naked-spin", "src/container/x.hpp",
+     "while (1)\n  v = w.load_acquire();"),
+    (None, "src/pq/x.hpp",
+     "for (;;) {\n  if (lock_.try_acquire()) break;\n"
+     "  if (!clock.tick_backoff()) return;\n}"),
+    (None, "src/pq/x.hpp", "Backoff<P> b;\nfor (;;) {\n  b.spin();\n}"),
+    (None, "src/pq/x.hpp", "for (;;) {\n  P::relax();\n}"),
+    (None, "src/sync/x.hpp", "for (;;) {\n  v = w.load_acquire();\n}"),
+    (None, "src/pq/x.hpp",
+     "// contract-lint: allow(naked-spin) lock-free retry: a CAS failure\n"
+     "for (;;) {\n  step();\n}"),
+    (None, "src/pq/x.hpp", "for (u32 i = 0; i < n; ++i) w.load_acquire();"),
+    (None, "src/verify/x.cpp",
+     "for (;;) {\n  SimPlatform::heartbeat();\n  if (!pq->delete_min()) break;\n}"),
 ]
 
 
