@@ -7,6 +7,11 @@
 // A second table toggles elimination off, quantifying §3.3's claim that
 // elimination is what makes the bounded counters (and hence FunnelTree)
 // profitable under balanced insert/delete traffic.
+//
+// A third table crosses the cut-off sweep with the collision protocol
+// (exchange vs aggregation, DESIGN.md §13): aggregation applies one
+// central RMW per aggregate, so deep funnel layers buy less — the
+// cut-off sensitivity under aggregation is expected to flatten.
 #include <iostream>
 
 #include "bench_support/measure.hpp"
@@ -57,6 +62,29 @@ int main(int argc, char** argv) {
       series.push_back(std::move(s));
     }
     print_table(std::cout, "Ablation: FunnelTree elimination (16 priorities)",
+                "procs", xs, series);
+  }
+  {
+    std::vector<Series> series;
+    for (FunnelProtocol proto : {FunnelProtocol::kExchange, FunnelProtocol::kAggregate}) {
+      for (u32 cutoff : {2u, 8u}) {
+        Series s{std::string(to_string(proto)) + " cutoff=" + std::to_string(cutoff), {}};
+        for (u32 p : procs) {
+          MeasureConfig cfg;
+          cfg.algo = Algorithm::kFunnelTree;
+          cfg.nprocs = p;
+          cfg.npriorities = npriorities;
+          cfg.ops_per_proc = ops;
+          cfg.bin_capacity = 1u << 11;
+          cfg.funnel.tree_cutoff = cutoff;
+          cfg.funnel.protocol = proto;
+          s.values.push_back(fmt_cycles(measure_sim(cfg).mean_all()));
+        }
+        series.push_back(std::move(s));
+      }
+    }
+    print_table(std::cout,
+                "Ablation: collision protocol x cut-off (256 priorities)",
                 "procs", xs, series);
   }
   return 0;

@@ -8,11 +8,15 @@
 // the cell's batch, pre-fills it halfway, then has every thread run
 // insert_batch(b) + delete_min_batch(b) rounds until it has issued
 // ops_per_thread operations (each batched element counts as one
-// operation). Output: human table on stdout and the `fpq.native-bench.v1`
-// JSON (BENCH_native_batched.json by default) with per-result "batch"
-// fields — see bench_support/native_bench.hpp for the schema, including
-// the config.oversubscribed flag that marks runs whose thread counts
-// exceed the machine's cores.
+// operation). Each funnel queue appears twice: under its plain name with
+// the exchange collision protocol and as `<name>/agg` with the aggregation
+// protocol (one central RMW per aggregate), so the JSON carries the
+// exchange-vs-aggregation ablation directly. Output: human table on stdout
+// and the `fpq.native-bench.v2` JSON (BENCH_native_batched.json by
+// default) with per-result "batch" fields — see
+// bench_support/native_bench.hpp for the schema, including the
+// config.oversubscribed flag that marks runs whose thread counts exceed
+// the machine's cores.
 //
 //   native_batched --threads=1,2,4,8 --reps=5 --ops=100000
 //                  [--algos=FunnelTree,LinearFunnels]
@@ -31,13 +35,16 @@ namespace {
 constexpr u32 kPrios = 16;
 constexpr u32 kBatches[] = {1, 4, 16, 64};
 
-RepMeasurement run_rep(Algorithm algo, u32 batch, u32 nthreads, u64 ops_per_thread) {
+RepMeasurement run_rep(Algorithm algo, FunnelProtocol proto, u32 batch, u32 nthreads,
+                       u64 ops_per_thread) {
   PqParams params;
   params.npriorities = kPrios;
   params.maxprocs = nthreads;
   params.bin_capacity = 1u << 16;
   params.max_batch = batch;
-  auto pq = make_priority_queue<NativePlatform>(algo, params);
+  FunnelOptions opts;
+  opts.protocol = proto;
+  auto pq = make_priority_queue<NativePlatform>(algo, params, opts);
   // Half-full steady state so delete_min rarely sees an empty queue.
   NativePlatform::run(1, [&](ProcId) {
     for (u32 i = 0; i < 256; ++i)
@@ -66,10 +73,14 @@ int main(int argc, char** argv) {
   for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
     const std::string name{to_string(algo)};
     if (!suite.selected(name)) continue;
-    for (u32 batch : kBatches) {
-      suite.run_batched_case("PqBatched", name, batch, [algo, batch](u32 nt, u64 ops) {
-        return run_rep(algo, batch, nt, ops);
-      });
+    for (FunnelProtocol proto : {FunnelProtocol::kExchange, FunnelProtocol::kAggregate}) {
+      const std::string row =
+          proto == FunnelProtocol::kAggregate ? name + "/agg" : name;
+      for (u32 batch : kBatches) {
+        suite.run_batched_case("PqBatched", row, batch, [algo, proto, batch](u32 nt, u64 ops) {
+          return run_rep(algo, proto, batch, nt, ops);
+        });
+      }
     }
   }
   return suite.finish();

@@ -5,10 +5,12 @@
 //
 // Each repetition builds a fresh queue, pre-fills it halfway, then runs a
 // mixed workload: every thread performs ops_per_thread insert+delete-min
-// pairs (both count as operations). Output: human table on stdout and the
-// `fpq.native-bench.v1` JSON (BENCH_native.json by default) — see
-// bench_support/native_bench.hpp for the schema and README for how to
-// read / diff the file.
+// pairs (both count as operations). The two funnel queues additionally
+// appear as `<name>/agg` rows running the aggregation collision protocol
+// (one central RMW per aggregate) for an exchange-vs-aggregation ablation.
+// Output: human table on stdout and the `fpq.native-bench.v2` JSON
+// (BENCH_native.json by default) — see bench_support/native_bench.hpp for
+// the schema and README for how to read / diff the file.
 //
 //   native_pq --threads=1,2,4,8 --reps=5 --ops=100000 [--algos=FunnelTree,...]
 //             [--out=BENCH_native.json] [--pin] [--quick]
@@ -22,12 +24,15 @@ namespace {
 
 constexpr u32 kPrios = 16;
 
-RepMeasurement run_rep(Algorithm algo, u32 nthreads, u64 ops_per_thread) {
+RepMeasurement run_rep(Algorithm algo, FunnelProtocol proto, u32 nthreads,
+                       u64 ops_per_thread) {
   PqParams params;
   params.npriorities = kPrios;
   params.maxprocs = nthreads;
   params.bin_capacity = 1u << 16;
-  auto pq = make_priority_queue<NativePlatform>(algo, params);
+  FunnelOptions opts;
+  opts.protocol = proto;
+  auto pq = make_priority_queue<NativePlatform>(algo, params, opts);
   // Half-full steady state so delete_min rarely sees an empty queue.
   NativePlatform::run(1, [&](ProcId) {
     for (u32 i = 0; i < 256; ++i)
@@ -52,7 +57,15 @@ int main(int argc, char** argv) {
     const std::string name{to_string(algo)};
     if (!suite.selected(name)) continue;
     suite.run_case("PqMixed", name, [algo](u32 nt, u64 ops) {
-      return run_rep(algo, nt, ops);
+      return run_rep(algo, FunnelProtocol::kExchange, nt, ops);
+    });
+    // Funnel queues get a second row under the aggregation protocol
+    // (ISSUE 8 ablation): same workload, collisions fold into one
+    // central RMW instead of pairwise exchanges.
+    if (algo != Algorithm::kLinearFunnels && algo != Algorithm::kFunnelTree)
+      continue;
+    suite.run_case("PqMixed", name + "/agg", [algo](u32 nt, u64 ops) {
+      return run_rep(algo, FunnelProtocol::kAggregate, nt, ops);
     });
   }
   return suite.finish();

@@ -42,6 +42,18 @@
 //                                       clamped at `floor` (what FunnelTree
 //                                       needs); `eliminate` can be toggled
 //                                       off for the ablation study.
+//
+// Collision protocol (FunnelParams::protocol, DESIGN.md §13): the above
+// describes the paper's pairwise *exchange* protocol. In *aggregate* mode
+// (Roh et al. '24) a layer-slot occupant keeps an open aggregation record
+// (funnel/aggregate.hpp) that late arrivals CAS their batched requests
+// onto; the representative closes the flat list, applies ONE central RMW
+// for the whole aggregate, and distributes positional verdicts directly.
+// Pairwise elimination is subsumed by the fold: opposite-direction slices
+// in one aggregate cancel arithmetically inside that single RMW, and each
+// participant's verdict is still the exact pre-value of its slice under
+// the sequential order <representative, joiners in close order> with the
+// floor/ceiling clamp applied slice by slice.
 #pragma once
 
 #include <cmath>
@@ -53,6 +65,7 @@
 #include "common/assert.hpp"
 #include "common/padded.hpp"
 #include "common/types.hpp"
+#include "funnel/aggregate.hpp"
 #include "funnel/params.hpp"
 #include "platform/platform.hpp"
 #include "sync/backoff.hpp"
@@ -193,6 +206,9 @@ class FunnelCounter {
     i64 local_sum = 0;
     double adaption = 0.125;
     std::vector<Rec*> children;
+    /// Aggregation-protocol endpoint (own aggregate's join point + link in
+    /// a representative's list); idle under the exchange protocol.
+    AggregateEndpoint<P> agg;
   };
 
   /// What one traversal yields: the pre-op value of the owner's first
@@ -246,6 +262,7 @@ class FunnelCounter {
     my.children.clear();
     my.result_state.store_relaxed(kStEmpty);
     my.sum.store_relaxed(delta);
+    if (params_.protocol == FunnelProtocol::kAggregate) return run_aggregate(my);
     u32 d = 0;
     my.location.store_release(loc(0)); // publishes sum/result_state
     bool collided = false;
@@ -340,6 +357,95 @@ class FunnelCounter {
         if (auto r = finish_as_child(my, d)) return *r;
       }
     }
+  }
+
+  // ---- Aggregation protocol (DESIGN.md §13). The record's fields are
+  // already initialized and its payload (sum) stored relaxed by run();
+  // publication happens through the slot-claim CAS (representatives) or
+  // the join CAS on the occupant's `agg.head` (joiners) — the `location`
+  // word is never used, so nothing here can be captured pairwise.
+  Done run_aggregate(Rec& my) {
+    for (u32 n = 0; n < params_.attempts; ++n) {
+      Slot& slot = *layers_[0][P::rnd(effective_width(my, 0))];
+      Rec* cur = slot.load_acquire();
+      if (cur == nullptr) {
+        Rec* expected = nullptr;
+        if (slot.compare_exchange(expected, &my, MemOrder::kAcqRel, MemOrder::kRelaxed))
+          return serve_aggregate(my, slot);
+        cur = expected;
+      }
+      if (cur == nullptr || cur == &my) continue; // lost the claim race / stale self
+      if (cur->agg.try_join(&my)) {
+        adapt(my, true); // joining is the aggregation analogue of colliding
+        return finish_as_aggregate_child(my);
+      }
+      // The occupant's aggregate is closed: help-clear the stale slot so
+      // the next arrival can claim it, then retry. Helping across tenures
+      // is benign — the CAS only clears the exact pointer we saw.
+      slot.compare_exchange(cur, nullptr, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    }
+    // No slot claimed, no aggregate joined: apply the own batch directly.
+    adapt(my, false);
+    Backoff<P> central_backoff(16, 2048);
+    for (;;) {
+      i64 val = central_.load_relaxed();
+      if (central_.compare_exchange(val, after_slice(val, my.local_sum), MemOrder::kAcqRel,
+                                    MemOrder::kRelaxed))
+        return {ticket_for(my, val), my.own_elim + own_successes(my, val)};
+      central_backoff.spin();
+    }
+  }
+
+  /// Representative path: keep the aggregate open for agg_wait beats, close
+  /// it, release the slot, fold every participant's slice into ONE central
+  /// RMW, and hand out positional verdicts. Sequential order of the
+  /// aggregate: <my own batch, joiners in close order>, each slice applied
+  /// whole with the clamp folded in (after_slice).
+  Done serve_aggregate(Rec& my, Slot& slot) {
+    my.agg.open();
+    for (u32 i = 0; i < params_.agg_wait; ++i) P::relax();
+    my.agg.close_into(my.children);
+    Rec* self = &my;
+    slot.compare_exchange(self, nullptr, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    adapt(my, !my.children.empty());
+    Backoff<P> central_backoff(16, 2048);
+    for (;;) {
+      i64 val = central_.load_relaxed();
+      i64 nv = after_slice(val, my.local_sum);
+      for (Rec* c : my.children) nv = after_slice(nv, c->sum.load_relaxed());
+      if (central_.compare_exchange(val, nv, MemOrder::kAcqRel, MemOrder::kRelaxed)) {
+        i64 v = after_slice(val, my.local_sum);
+        for (Rec* c : my.children) {
+          // Read the slice BEFORE releasing the verdict: the release frees
+          // the child to start its next operation and rewrite its sum.
+          const i64 csum = c->sum.load_relaxed();
+          c->result_value.store_relaxed(v);
+          c->result_state.store_release(kStCount); // publishes the verdict
+          v = after_slice(v, csum);
+        }
+        return {ticket_for(my, val), my.own_elim + own_successes(my, val)};
+      }
+      central_backoff.spin();
+    }
+  }
+
+  /// Joiner path: the representative is committed to serving us, so the
+  /// only possible verdict is a positional kStCount — aggregation never
+  /// hands back kStRetry (any sign and size folds exactly).
+  Done finish_as_aggregate_child(Rec& my) {
+    const u32 st = P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
+    FPQ_ASSERT_MSG(st == kStCount, "aggregate verdicts are always positional");
+    const i64 base = my.result_value.load_relaxed(); // ordered by the acquire spin
+    return {ticket_for(my, base), my.own_elim + own_successes(my, base)};
+  }
+
+  /// Counter value after one whole slice (a record's homogeneous batch)
+  /// applied from `base`. Bounded slices are k ops of ±1, so |sum| is the
+  /// op count and the clamp folds in positionally; plain mode is exact
+  /// addition of an arbitrary delta.
+  i64 after_slice(i64 base, i64 ssum) const {
+    if (!cfg_.bounded) return base + ssum;
+    return advance(base, static_cast<u64>(std::llabs(ssum)), ssum < 0);
   }
 
   /// Elimination (Fig. 10 lines 12-18): both trees complete using one read

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <string>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
@@ -12,6 +13,34 @@
 namespace fpq {
 
 inline constexpr u32 kMaxFunnelLevels = 6;
+
+/// Collision protocol of the funnel layers.
+///  - kExchange: the paper's pairwise protocol — a collision merges exactly
+///    two combining trees, so a width-w burst needs Θ(log w) rounds before
+///    one processor reaches the central object.
+///  - kAggregate: aggregating-funnel protocol (Roh et al. '24, arXiv
+///    2411.14420) — a layer slot holds an *open aggregation record* that
+///    late arrivals CAS-append their whole batched request onto; the
+///    representative closes the aggregate, applies ONE central RMW for all
+///    of it, and distributes positional verdicts across the flat list.
+enum class FunnelProtocol : u8 { kExchange = 0, kAggregate = 1 };
+
+inline const char* to_string(FunnelProtocol p) {
+  return p == FunnelProtocol::kAggregate ? "aggregate" : "exchange";
+}
+
+/// Parse "exchange"/"aggregate" into `out`; false on anything else.
+inline bool funnel_protocol_from_string(const std::string& s, FunnelProtocol& out) {
+  if (s == "exchange") {
+    out = FunnelProtocol::kExchange;
+    return true;
+  }
+  if (s == "aggregate") {
+    out = FunnelProtocol::kAggregate;
+    return true;
+  }
+  return false;
+}
 
 struct FunnelParams {
   /// Number of combining layers a processor traverses before applying its
@@ -33,6 +62,13 @@ struct FunnelParams {
   /// footprint; queues that use insert_batch/delete_min_batch raise it via
   /// PqParams::max_batch and chunk larger requests.
   u32 batch_limit = 1;
+  /// Which collision protocol the layers run (see FunnelProtocol).
+  FunnelProtocol protocol = FunnelProtocol::kExchange;
+  /// Aggregation only: how many relax() beats a representative keeps its
+  /// record open for late joiners before closing the aggregate. The window
+  /// is pure opportunity cost when uncontended (one solo RMW after the
+  /// wait) and amortizes to ~zero per op once joiners arrive.
+  u32 agg_wait = 32;
 
   void validate() const {
     FPQ_ASSERT_MSG(levels <= kMaxFunnelLevels, "too many funnel levels");
@@ -59,6 +95,26 @@ struct FunnelParams {
       p.width[d] = w >= 1 ? w : 1;
       p.spin[d] = 16u << d; // wait longer at deeper layers: capture is likely
     }
+    return p;
+  }
+
+  /// Per-protocol defaults (ISSUE 8 satellite). The exchange table above is
+  /// tuned for Θ(log w) pairwise rounds: multiple narrow layers, long
+  /// capture spins. Aggregation collapses the tree into one flat list per
+  /// representative, so depth buys nothing — one WIDE layer minimizes the
+  /// chance that two representatives split a burst, and the tunable that
+  /// matters is the open-window length, scaled with expected concurrency.
+  static FunnelParams for_procs(u32 nprocs, FunnelProtocol proto) {
+    if (proto == FunnelProtocol::kExchange) return for_procs(nprocs);
+    FunnelParams p;
+    p.protocol = FunnelProtocol::kAggregate;
+    p.levels = 1;
+    p.attempts = 2; // slot churn resolves by joining, not by re-colliding
+    const u32 w = nprocs / 8;
+    p.width[0] = w >= 1 ? w : 1;
+    for (u32 d = 1; d < kMaxFunnelLevels; ++d) p.width[d] = 1;
+    const u32 scaled = 2 * nprocs;
+    p.agg_wait = 16 + (scaled < 512 ? scaled : 512);
     return p;
   }
 };

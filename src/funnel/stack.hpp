@@ -29,6 +29,19 @@
 // keeps flat push verdicts (kStPushed/kStFull) truthful. Oversized
 // opposite captures get kStRetry.
 //
+// Collision protocol (FunnelParams::protocol, DESIGN.md §13): the above
+// describes the paper's pairwise *exchange* protocol. In *aggregate* mode
+// (Roh et al. '24) a layer-slot occupant keeps an open aggregation record
+// (funnel/aggregate.hpp) that late arrivals CAS their batched requests
+// onto. The representative's open window is the MCS lock acquisition wait
+// itself: it opens, queues on the central lock, and once inside closes the
+// flat list and serves every participant's slice — its own first, then
+// each joiner in close order — in ONE critical section, exactly the
+// operation sequence the same records would have produced as consecutive
+// point batches (per-record all-or-nothing push refusal included; one
+// refused participant never blocks later ones). Verdicts are published
+// after the unlock on the usual result_state edges.
+//
 // bin-empty is a single read of the central size word — the property
 // LinearFunnels' delete-min scan depends on (§3.2).
 //
@@ -54,6 +67,7 @@
 #include "common/entry.hpp"
 #include "common/padded.hpp"
 #include "common/types.hpp"
+#include "funnel/aggregate.hpp"
 #include "funnel/params.hpp"
 #include "platform/platform.hpp"
 #include "sync/mcs_lock.hpp"
@@ -239,6 +253,13 @@ class FunnelStack {
     i64 local_sum = 0;
     double adaption = 0.125;
     std::vector<Rec*> children;
+    /// Aggregation protocol only: per-participant verdict states computed
+    /// inside the critical section, published after the unlock (owner-local
+    /// scratch, parallel to `children`).
+    std::vector<u32> verdicts;
+    /// Aggregation-protocol endpoint (own aggregate's join point + link in
+    /// a representative's list); idle under the exchange protocol.
+    AggregateEndpoint<P> agg;
   };
 
   /// Central-lock acquisition above this is read as contention.
@@ -276,6 +297,7 @@ class FunnelStack {
     }
     my.result_state.store_relaxed(kStEmpty);
     my.sum.store_relaxed(delta);
+    if (params_.protocol == FunnelProtocol::kAggregate) return aggregate_apply(my);
     u32 d = 0;
     my.location.store_release(loc(0)); // publishes sum/mark/state/buf
     bool collided = false;
@@ -345,6 +367,111 @@ class FunnelStack {
       adapt(my, collided);
       return r;
     }
+  }
+
+  // ---- Aggregation protocol (DESIGN.md §13). The record's payload (sum,
+  // mark, item buffer) is already written relaxed by apply(); publication
+  // happens through the slot-claim CAS (representatives) or the join CAS
+  // on the occupant's `agg.head` (joiners) — the `location` word is never
+  // used, so nothing here can be captured pairwise.
+  u64 aggregate_apply(Rec& my) {
+    for (u32 n = 0; n < params_.attempts; ++n) {
+      Slot& slot = *layers_[0][P::rnd(effective_width(my, 0))];
+      Rec* cur = slot.load_acquire();
+      if (cur == nullptr) {
+        Rec* expected = nullptr;
+        if (slot.compare_exchange(expected, &my, MemOrder::kAcqRel, MemOrder::kRelaxed))
+          return serve_aggregate(my, slot);
+        cur = expected;
+      }
+      if (cur == nullptr || cur == &my) continue; // lost the claim race / stale self
+      if (cur->agg.try_join(&my)) {
+        adapt(my, true); // joining is the aggregation analogue of colliding
+        return finish_as_aggregate_child(my);
+      }
+      // Occupant's aggregate is closed: help-clear the stale slot, retry.
+      slot.compare_exchange(cur, nullptr, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    }
+    adapt(my, false);
+    return central_apply(my); // no aggregate formed: serve the own batch solo
+  }
+
+  /// Representative path. The open window is agg_wait relax beats plus the
+  /// MCS acquisition wait — under contention the lock queueing delay is
+  /// exactly when joiners pile on, and the fixed beats keep a window open
+  /// even when the lock is free (the adaptive fast path already bypasses
+  /// the funnel when that latency would be wasted). Inside the critical
+  /// section every participant's slice is applied in sequence
+  /// (representative first, then joiners in close order), each with the
+  /// same per-record all-or-nothing rules as a point batch; verdicts are
+  /// published only after the unlock so no waiter ever spins on a value
+  /// computed inside somebody's critical section.
+  u64 serve_aggregate(Rec& my, Slot& slot) {
+    my.agg.open();
+    for (u32 i = 0; i < params_.agg_wait; ++i) P::relax();
+    my.verdicts.clear();
+    u32 mine;
+    {
+      McsGuard<P> g(lock_);
+      my.agg.close_into(my.children);
+      Rec* self = &my;
+      slot.compare_exchange(self, nullptr, MemOrder::kAcqRel, MemOrder::kRelaxed);
+      mine = apply_one_locked(my);
+      for (Rec* c : my.children) my.verdicts.push_back(apply_one_locked(*c));
+    }
+    adapt(my, !my.children.empty());
+    for (u64 i = 0; i < my.children.size(); ++i)
+      my.children[i]->result_state.store_release(my.verdicts[i]); // publishes buf slices
+    if (my.local_sum < 0) return 0;
+    return mine == kStFull ? my.mark.load_relaxed() : my.own_n;
+  }
+
+  /// One participant's slice against the central store, lock held. Exactly
+  /// central_apply's rules for a single record: all-or-nothing push
+  /// refusal (kStFull), pops served short with kNoItem sentinels. Reads
+  /// the record's published sum/mark (not owner-local fields) — for
+  /// joiners those are ordered by the join-CAS/close-exchange edge, and
+  /// the relaxed writes into a joiner's buffer are published afterwards by
+  /// the result_state release in serve_aggregate.
+  u32 apply_one_locked(Rec& r) {
+    const i64 rsum = r.sum.load_relaxed();
+    const u64 rrem = tree_size(rsum);
+    const u64 rmark = r.mark.load_relaxed();
+    const u64 cap = cells_.size();
+    const u64 n = size_.load_relaxed();
+    if (rsum > 0) {
+      if (n + rrem > cap) return kStFull;
+      const u64 t = tail_.load_relaxed();
+      for (u64 i = 0; i < rrem; ++i)
+        cells_[(t + i) % cap].store_relaxed(r.buf[rmark + i].load_relaxed());
+      tail_.store_relaxed(t + rrem);
+      size_.store_release(n + rrem);
+      return kStPushed;
+    }
+    const u64 m = n < rrem ? n : rrem;
+    if (order_ == BinOrder::kLifo) {
+      const u64 t = tail_.load_relaxed();
+      for (u64 i = 0; i < m; ++i)
+        r.buf[rmark + i].store_relaxed(cells_[(t - 1 - i) % cap].load_relaxed());
+      tail_.store_relaxed(t - m);
+    } else {
+      const u64 h = head_.load_relaxed();
+      for (u64 i = 0; i < m; ++i)
+        r.buf[rmark + i].store_relaxed(cells_[(h + i) % cap].load_relaxed());
+      head_.store_relaxed(h + m);
+    }
+    size_.store_release(n - m);
+    for (u64 i = m; i < rrem; ++i) r.buf[rmark + i].store_relaxed(kNoItem);
+    return kStPopped;
+  }
+
+  /// Joiner path: the representative serves every participant, so the only
+  /// verdicts are kStPushed/kStFull/kStPopped — never kStRetry.
+  u64 finish_as_aggregate_child(Rec& my) {
+    const u32 st = P::spin_until(my.result_state, [](u32 v) { return v != kStEmpty; });
+    FPQ_ASSERT_MSG(st != kStRetry, "aggregate participants are always served");
+    if (st == kStPopped) return 0;
+    return st == kStFull ? my.mark.load_relaxed() : my.own_n;
   }
 
   /// Own-batch operations not yet consumed/filled by eliminations.

@@ -44,6 +44,10 @@ struct FunnelOptions {
   u32 elim_slots = 4;
   /// Deleter parking budget (slot re-checks) before withdrawing.
   u32 elim_spin = 64;
+  /// Collision protocol of every funnel in the queue: the paper's pairwise
+  /// exchange, or the Roh et al. '24 aggregation (DESIGN.md §13).
+  /// Authoritative — overrides the protocol field of an explicit `params`.
+  FunnelProtocol protocol = FunnelProtocol::kExchange;
 };
 
 /// Upper bound on one aggregated chunk; PqParams::max_batch beyond this is
@@ -53,8 +57,10 @@ inline constexpr u32 kMaxBatchChunk = 256;
 /// The funnel geometry for a queue: the user's (or for_procs) layer set,
 /// with the record buffers widened to carry the queue's batch size.
 inline FunnelParams funnel_params_for(const PqParams& params, const FunnelOptions& opts) {
-  FunnelParams fp =
-      opts.params ? *opts.params : FunnelParams::for_procs(params.maxprocs);
+  FunnelParams fp = opts.params
+                        ? *opts.params
+                        : FunnelParams::for_procs(params.maxprocs, opts.protocol);
+  fp.protocol = opts.protocol;
   fp.batch_limit = std::max(fp.batch_limit, std::min(params.max_batch, kMaxBatchChunk));
   return fp;
 }

@@ -30,6 +30,7 @@ ScenarioChecks checks_for(const StressSpec& spec) {
 QueueFactory registry_factory(const StressSpec& spec) {
   const Algorithm algo = spec.algo;
   FunnelOptions opts;
+  opts.protocol = spec.funnel;
   if (spec.elim > 0) {
     opts.pq_elimination = true;
     opts.elim_slots = spec.elim;
@@ -71,8 +72,8 @@ std::string to_line(const StressSpec& s) {
      << " nprio=" << s.npriorities << " ins=" << s.insert_percent
      << " permille=" << s.perturb_permille << " maxdelay=" << s.max_delay
      << " jitter=" << s.access_jitter << " batch=" << s.batch << " elim=" << s.elim
-     << " reclaim=" << reclaim::to_string(s.reclaim) << " lin=" << (s.check_lin ? 1 : 0)
-     << " race=" << (s.race_detect ? 1 : 0);
+     << " reclaim=" << reclaim::to_string(s.reclaim) << " funnel=" << to_string(s.funnel)
+     << " lin=" << (s.check_lin ? 1 : 0) << " race=" << (s.race_detect ? 1 : 0);
   // Fault keys only when non-default, so fault-free replay lines are
   // byte-identical to what earlier versions emitted.
   if (!s.faults.empty()) os << " faults=" << sim::to_string(s.faults);
@@ -125,6 +126,9 @@ StressSpec spec_from_line(const std::string& line) {
       s.elim = static_cast<u32>(std::stoul(val));
     } else if (key == "reclaim") {
       s.reclaim = reclaim::policy_from_string(val);
+    } else if (key == "funnel") {
+      if (!funnel_protocol_from_string(val, s.funnel))
+        throw std::invalid_argument("unknown funnel protocol: " + val);
     } else if (key == "lin") {
       s.check_lin = val != "0";
     } else if (key == "race") {
@@ -453,6 +457,7 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.batch = opt.batch;
       spec.elim = opt.elim;
       spec.reclaim = opt.reclaim;
+      spec.funnel = opt.funnel;
       spec.race_detect = opt.race_detect;
       spec.faults = opt.faults;
       spec.watchdog = opt.watchdog;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/registry.hpp"
+#include "funnel/params.hpp"
 #include "reclaim/policy.hpp"
 #include "platform/sim.hpp"
 #include "sim/faults.hpp"
@@ -64,6 +65,10 @@ struct StressSpec {
   /// Memory-reclamation policy for the queues that reclaim through
   /// reclaim::Domain (PqParams::reclaim_policy); ignored by the rest.
   reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
+  /// Funnel collision protocol (FunnelOptions::protocol) for the funnel
+  /// queues — exchange (paper) or aggregate (Roh et al. '24); ignored by
+  /// the rest.
+  FunnelProtocol funnel = FunnelProtocol::kExchange;
   /// Gate the exhaustive linearizability checker (keep histories small:
   /// nprocs * ops_per_proc + drain must stay around 20 ops).
   bool check_lin = false;
@@ -153,6 +158,7 @@ struct StressOptions {
   u32 batch = 1;
   u32 elim = 0;
   reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
+  FunnelProtocol funnel = FunnelProtocol::kExchange;
   /// Forwarded into every spec (StressSpec::race_detect).
   bool race_detect = false;
   /// Fault plan / watchdog budget forwarded into every spec — a sweep over

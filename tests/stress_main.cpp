@@ -14,6 +14,7 @@
 #include <cstring>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,7 @@ int usage(const char* argv0) {
       << "  --batch=N            group ops into insert_batch/delete_min_batch calls\n"
       << "  --elim=N             PQ-level elimination slots for funnel queues (0=off)\n"
       << "  --reclaim=hp|ebr     memory-reclamation policy for reclaiming queues\n"
+      << "  --funnel=exchange|aggregate   funnel collision protocol (DESIGN.md §13)\n"
       << "  --race-detect        attach the happens-before race detector and the\n"
       << "                       lock-order checker to every scenario (DESIGN.md §10)\n"
       << "  --faults=PLAN        inject a fault plan into every scenario, e.g.\n"
@@ -128,6 +130,9 @@ int main(int argc, char** argv) {
         opt.elim = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--reclaim=", 0) == 0) {
         opt.reclaim = fpq::reclaim::policy_from_string(val());
+      } else if (arg.rfind("--funnel=", 0) == 0) {
+        if (!fpq::funnel_protocol_from_string(val(), opt.funnel))
+          throw std::invalid_argument("expected exchange or aggregate");
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--faults=", 0) == 0) {

@@ -1,0 +1,343 @@
+// Tests of the aggregating-funnel collision protocol (Roh et al. '24;
+// DESIGN.md §13): the open/close/distribute handshake on FunnelCounter and
+// FunnelStack, positional verdicts under the floor clamp, opposite-
+// direction folding (the aggregation form of elimination), permutation and
+// conservation sweeps with the race detector attached, and a detector
+// negative control with the join CAS deliberately under-annotated.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "funnel/aggregate.hpp"
+#include "funnel/counter.hpp"
+#include "funnel/stack.hpp"
+#include "platform/sim.hpp"
+#include "sim/race_detector.hpp"
+
+namespace fpq {
+namespace {
+
+using Cfg = FunnelCounter<SimPlatform>::Config;
+
+/// One wide-enough layer, funnel forced (no adaptive fast-path bypass) so
+/// every operation actually runs the aggregation protocol.
+FunnelParams agg_params(u32 width = 2, u32 agg_wait = 64) {
+  FunnelParams p;
+  p.protocol = FunnelProtocol::kAggregate;
+  p.levels = 1;
+  p.width[0] = width;
+  p.attempts = 2;
+  p.adaptive = false;
+  p.agg_wait = agg_wait;
+  return p;
+}
+
+/// Single slot + a very long open window: with staggered arrivals the
+/// late operation deterministically joins the early representative.
+FunnelParams litmus_params() {
+  FunnelParams p = agg_params(1, 4096);
+  p.batch_limit = 4; // room for the litmus batches (stack buffers)
+  return p;
+}
+
+TEST(AggregateCounter, SequentialFai) {
+  FunnelCounter<SimPlatform> c(1, agg_params(), Cfg{false, false, 0}, 0);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    for (i64 i = 0; i < 20; ++i) EXPECT_EQ(c.fai(), i);
+  });
+  EXPECT_EQ(c.read(), 20);
+}
+
+TEST(AggregateCounter, SequentialBfadStopsAtFloor) {
+  FunnelCounter<SimPlatform> c(1, agg_params(), Cfg{true, true, 0}, 2);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    EXPECT_EQ(c.bfad(0), 2);
+    EXPECT_EQ(c.bfad(0), 1);
+    EXPECT_EQ(c.bfad(0), 0); // at floor: value returned, no decrement
+    EXPECT_EQ(c.bfad(0), 0);
+  });
+  EXPECT_EQ(c.read(), 0);
+}
+
+TEST(AggregateStack, SequentialPushPop) {
+  FunnelStack<SimPlatform> s(1, agg_params(), 64);
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    for (u64 v = 1; v <= 10; ++v) EXPECT_TRUE(s.push(v));
+    for (u64 v = 10; v >= 1; --v) EXPECT_EQ(s.pop(), v); // LIFO
+    EXPECT_FALSE(s.pop().has_value());
+  });
+  EXPECT_TRUE(s.empty());
+}
+
+// ---- Litmus: the open/close/distribute handshake, made deterministic.
+//
+// Proc 0 (representative) opens an aggregate at central value 0 and holds
+// the window; proc 1 arrives mid-window and joins. The aggregate's
+// sequential order is <representative, joiners in close order>, so the
+// fold is: +2 from 0 (rep's increments -> tickets 0,1), then -3 from 2
+// under the floor clamp (joiner's decrements -> 2 succeed, 1 clamps).
+// One central RMW moves 0 -> 0; both sides' verdicts are positional.
+TEST(AggregateCounter, LitmusPositionalVerdictsUnderFloorClamp) {
+  FunnelCounter<SimPlatform> c(2, litmus_params(), Cfg{true, true, 0}, 0);
+  u64 inc_succ = 0, dec_succ = 0;
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(2, m, /*seed=*/7);
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      inc_succ = c.fai_batch(2);
+    } else {
+      for (u32 i = 0; i < 400; ++i) SimPlatform::relax(); // arrive mid-window
+      dec_succ = c.bfad_batch(0, 3);
+    }
+  });
+  EXPECT_EQ(inc_succ, 2u);
+  EXPECT_EQ(dec_succ, 2u); // third decrement found the floor
+  EXPECT_EQ(c.read(), 0);
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+// The opposite-direction fold is aggregation's form of elimination: a
+// decrementing aggregate opened off the floor absorbs an incrementing
+// joiner's slice exactly (whole-vs-slice), still via one central RMW.
+TEST(AggregateCounter, LitmusOppositeSlicesFoldExactly) {
+  FunnelCounter<SimPlatform> c(2, litmus_params(), Cfg{true, true, 0}, 1);
+  i64 dec_ticket = -1;
+  u64 inc_succ = 0;
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(2, m, /*seed=*/11);
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      dec_ticket = c.bfad(0); // rep: 1 -> 0
+    } else {
+      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      inc_succ = c.fai_batch(2); // joiner: 0 -> 2
+    }
+  });
+  EXPECT_EQ(dec_ticket, 1);
+  EXPECT_EQ(inc_succ, 2u);
+  EXPECT_EQ(c.read(), 2);
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+// Stack handshake litmus: a pushing representative opens its aggregate, a
+// popping joiner lands in the window, and the critical section serves
+// <push 2, pop 3> in sequence — the popper drains the representative's
+// fresh items LIFO, then one prefilled item.
+TEST(AggregateStack, LitmusPushAggregateServesJoinedPop) {
+  FunnelStack<SimPlatform> s(2, litmus_params(), 64);
+  Item out[3] = {0, 0, 0};
+  u32 pushed = 0, popped = 0;
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(2, m, /*seed=*/13);
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      for (u64 v = 101; v <= 105; ++v) ASSERT_TRUE(s.push(v)); // prefill
+    }
+  });
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      const Item items[2] = {201, 202};
+      pushed = s.push_batch(items, 2);
+    } else {
+      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      popped = s.pop_batch(out, 3);
+    }
+  });
+  EXPECT_EQ(pushed, 2u);
+  ASSERT_EQ(popped, 3u);
+  EXPECT_EQ(out[0], 202u); // LIFO: representative's batch first
+  EXPECT_EQ(out[1], 201u);
+  EXPECT_EQ(out[2], 105u); // then the prefill top
+  EXPECT_EQ(s.size(), 4u);
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+// A refused participant must not block later ones: the store is full, the
+// representative's push batch is refused all-or-nothing, and the joined
+// pop is still served (per-record verdicts, not per-aggregate).
+TEST(AggregateStack, LitmusFullStoreRefusesPushButServesJoinedPop) {
+  FunnelStack<SimPlatform> s(2, litmus_params(), /*capacity=*/4);
+  Item out[2] = {0, 0};
+  u32 pushed = 99, popped = 0;
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(2, m, /*seed=*/17);
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      for (u64 v = 101; v <= 104; ++v) ASSERT_TRUE(s.push(v)); // fill to cap
+    }
+  });
+  eng.run([&](ProcId me) {
+    if (me == 0) {
+      const Item items[2] = {201, 202};
+      pushed = s.push_batch(items, 2);
+    } else {
+      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      popped = s.pop_batch(out, 2);
+    }
+  });
+  EXPECT_EQ(pushed, 0u); // all-or-nothing refusal at the full store
+  ASSERT_EQ(popped, 2u);
+  EXPECT_EQ(out[0], 104u); // the refused batch left no trace
+  EXPECT_EQ(out[1], 103u);
+  EXPECT_EQ(s.size(), 2u);
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+// ---- Concurrent sweeps: same invariants as the exchange-protocol
+// suites, with the detector attached so the join/close/verdict edges are
+// checked on every schedule.
+
+struct AggCase {
+  u32 nprocs;
+  u32 width;
+  u64 seed;
+};
+
+class AggregateFaiSweep : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(AggregateFaiSweep, PureIncrementsArePermutation) {
+  const auto [nprocs, width, seed] = GetParam();
+  FunnelCounter<SimPlatform> c(nprocs, agg_params(width), Cfg{true, true, 0}, 0);
+  std::vector<std::vector<i64>> got(nprocs);
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(nprocs, m, seed);
+  const u32 per_proc = 25;
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < per_proc; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      got[id].push_back(c.fai());
+    }
+  });
+  std::set<i64> values;
+  u64 total = 0;
+  for (const auto& v : got) {
+    values.insert(v.begin(), v.end());
+    total += v.size();
+  }
+  EXPECT_EQ(values.size(), total); // distinct tickets
+  EXPECT_EQ(*values.begin(), 0);
+  EXPECT_EQ(*values.rbegin(), static_cast<i64>(total) - 1);
+  EXPECT_EQ(c.read(), static_cast<i64>(total));
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggregateFaiSweep,
+                         ::testing::Values(AggCase{2, 1, 1}, AggCase{4, 1, 2},
+                                           AggCase{8, 2, 3}, AggCase{16, 2, 4},
+                                           AggCase{32, 4, 5}, AggCase{64, 8, 6}));
+
+class AggregateMixSweep : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(AggregateMixSweep, BoundedBatchConservation) {
+  const auto [nprocs, width, seed] = GetParam();
+  // Mixed-sign batches through one bounded counter: successes must
+  // conserve against the final value, and the value may never sink below
+  // the floor. Batch sizes vary per op so aggregates are heterogeneous.
+  FunnelCounter<SimPlatform> c(nprocs, agg_params(width), Cfg{true, true, 0}, 0);
+  auto incs = std::make_unique<SimShared<u64>>(0);
+  auto decs = std::make_unique<SimShared<u64>>(0);
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(nprocs, m, seed);
+  eng.run([&](ProcId) {
+    for (u32 i = 0; i < 20; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(48));
+      const u64 k = 1 + SimPlatform::rnd(4);
+      if (SimPlatform::rnd(100) < 55) {
+        incs->fetch_add(c.fai_batch(k));
+      } else {
+        decs->fetch_add(c.bfad_batch(0, k));
+      }
+    }
+  });
+  const i64 final_v = c.read();
+  EXPECT_GE(final_v, 0);
+  EXPECT_EQ(final_v,
+            static_cast<i64>(incs->load()) - static_cast<i64>(decs->load()));
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggregateMixSweep,
+                         ::testing::Values(AggCase{4, 1, 21}, AggCase{8, 2, 22},
+                                           AggCase{16, 2, 23}, AggCase{32, 4, 24}));
+
+class AggregateStackSweep : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(AggregateStackSweep, MixedBatchesConserveItems) {
+  const auto [nprocs, width, seed] = GetParam();
+  FunnelParams p = agg_params(width);
+  p.batch_limit = 4;
+  FunnelStack<SimPlatform> s(nprocs, p, 1u << 12);
+  auto pushed = std::make_unique<SimShared<u64>>(0);
+  auto popped = std::make_unique<SimShared<u64>>(0);
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(nprocs, m, seed);
+  eng.run([&](ProcId id) {
+    Item buf[4];
+    for (u32 i = 0; i < 20; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(48));
+      const u32 k = 1 + static_cast<u32>(SimPlatform::rnd(4));
+      if (SimPlatform::rnd(100) < 55) {
+        for (u32 j = 0; j < k; ++j) buf[j] = id * 1000 + i * 8 + j + 1;
+        pushed->fetch_add(s.push_batch(buf, k));
+      } else {
+        popped->fetch_add(s.pop_batch(buf, k));
+      }
+    }
+  });
+  EXPECT_EQ(s.size(), pushed->load() - popped->load());
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AggregateStackSweep,
+                         ::testing::Values(AggCase{4, 1, 31}, AggCase{8, 2, 32},
+                                           AggCase{16, 2, 33}, AggCase{32, 4, 34}));
+
+// ---- Detector negative control: the same join handshake with the join
+// CAS deliberately under-annotated (relaxed instead of acq_rel). The
+// joiner's relaxed payload write is then unordered against the closer's
+// read — exactly the report the aggregation sweeps above prove absent.
+TEST(AggregateRaceControl, UnderAnnotatedJoinIsFlagged) {
+  sim::MachineParams m;
+  m.race_detect = true;
+  sim::Engine eng(2, m, /*seed=*/5);
+  Padded<SimShared<u64>> head;    // 0 = open-empty, 1 = joiner present
+  Padded<SimShared<u64>> payload; // the joiner's "request"
+  eng.run([&](ProcId me) {
+    if (me == 1) {
+      // Joiner: payload relaxed is fine ONLY if the join CAS releases it.
+      // This one doesn't — both orders relaxed — so nothing publishes it.
+      payload.value.store_relaxed(42);
+      u64 h = 0;
+      head.value.compare_exchange(h, 1, MemOrder::kRelaxed, MemOrder::kRelaxed);
+    } else {
+      // Closer: correctly-annotated side (acquire exchange, as
+      // AggregateEndpoint::close_into does), reading the joined payload.
+      while (head.value.exchange(0, MemOrder::kAcqRel) == 0) SimPlatform::relax();
+      (void)payload.value.load_relaxed();
+    }
+  });
+  ASSERT_NE(eng.race_detector(), nullptr);
+  EXPECT_GT(eng.race_detector()->race_count(), 0u);
+}
+
+} // namespace
+} // namespace fpq

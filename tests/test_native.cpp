@@ -134,6 +134,75 @@ TEST(NativeFunnelStack, Conservation) {
   EXPECT_EQ(popped.load() + drained, pushed.load());
 }
 
+// ---- Aggregation collision protocol (DESIGN.md §13) under real threads:
+// the join CAS / close exchange / verdict release handshake is exactly
+// what TSan must see as ordered here.
+
+TEST(NativeAggregateCounter, FaiPermutation) {
+  FunnelCounter<NativePlatform> c(
+      kThreads, FunnelParams::for_procs(kThreads, FunnelProtocol::kAggregate),
+      {true, true, 0}, 0);
+  std::vector<std::vector<i64>> got(kThreads);
+  NativePlatform::run(kThreads, [&](ProcId id) {
+    for (u32 i = 0; i < 400; ++i) got[id].push_back(c.fai());
+  });
+  std::set<i64> uniq;
+  for (const auto& v : got) uniq.insert(v.begin(), v.end());
+  EXPECT_EQ(uniq.size(), kThreads * 400u);
+  EXPECT_EQ(c.read(), static_cast<i64>(kThreads * 400u));
+}
+
+TEST(NativeAggregateStack, BatchedConservation) {
+  FunnelParams fp = FunnelParams::for_procs(kThreads, FunnelProtocol::kAggregate);
+  fp.batch_limit = 4;
+  FunnelStack<NativePlatform> st(kThreads, fp, 1 << 14);
+  std::atomic<u64> pushed{0}, popped{0};
+  NativePlatform::run(kThreads, [&](ProcId id) {
+    Item buf[4];
+    for (u32 i = 0; i < 300; ++i) {
+      const u32 k = 1 + static_cast<u32>(NativePlatform::rnd(4));
+      if (NativePlatform::flip()) {
+        for (u32 j = 0; j < k; ++j)
+          buf[j] = (static_cast<u64>(id) << 32) | (i * 8 + j + 1);
+        pushed.fetch_add(st.push_batch(buf, k));
+      } else {
+        popped.fetch_add(st.pop_batch(buf, k));
+      }
+    }
+  });
+  u64 drained = 0;
+  NativePlatform::run(1, [&](ProcId) {
+    while (st.pop()) ++drained;
+  });
+  EXPECT_EQ(popped.load() + drained, pushed.load());
+}
+
+TEST(NativeAggregateQueues, ConcurrentConservation) {
+  for (Algorithm algo : {Algorithm::kLinearFunnels, Algorithm::kFunnelTree}) {
+    PqParams params{.npriorities = 16, .maxprocs = kThreads, .bin_capacity = 1u << 13};
+    FunnelOptions opts;
+    opts.protocol = FunnelProtocol::kAggregate;
+    auto pq = make_priority_queue<NativePlatform>(algo, params, opts);
+    std::atomic<u64> inserted{0}, deleted{0};
+    NativePlatform::run(kThreads, [&](ProcId id) {
+      for (u32 i = 0; i < 250; ++i) {
+        if (NativePlatform::flip()) {
+          ASSERT_TRUE(pq->insert(static_cast<Prio>(NativePlatform::rnd(16)),
+                                 (static_cast<u64>(id) << 24) | i));
+          inserted.fetch_add(1);
+        } else if (pq->delete_min()) {
+          deleted.fetch_add(1);
+        }
+      }
+    });
+    u64 drained = 0;
+    NativePlatform::run(1, [&](ProcId) {
+      while (pq->delete_min()) ++drained;
+    });
+    EXPECT_EQ(deleted.load() + drained, inserted.load()) << to_string(algo);
+  }
+}
+
 class NativeQueues : public ::testing::TestWithParam<Algorithm> {};
 
 TEST_P(NativeQueues, ConcurrentConservation) {

@@ -36,6 +36,7 @@ TEST(StressSpec, LineRoundTripsEveryField) {
   s.access_jitter = 17;
   s.batch = 6;
   s.elim = 3;
+  s.funnel = FunnelProtocol::kAggregate;
   s.check_lin = true;
   const StressSpec r = spec_from_line(to_line(s));
   EXPECT_EQ(r.algo, s.algo);
@@ -50,6 +51,7 @@ TEST(StressSpec, LineRoundTripsEveryField) {
   EXPECT_EQ(r.access_jitter, s.access_jitter);
   EXPECT_EQ(r.batch, s.batch);
   EXPECT_EQ(r.elim, s.elim);
+  EXPECT_EQ(r.funnel, s.funnel);
   EXPECT_EQ(r.check_lin, s.check_lin);
 }
 
@@ -60,6 +62,7 @@ TEST(StressSpec, RejectsMalformedLines) {
   EXPECT_THROW(spec_from_line("algo"), std::invalid_argument);
   EXPECT_THROW(spec_from_line("procs=0"), std::invalid_argument);
   EXPECT_THROW(spec_from_line("batch=0"), std::invalid_argument);
+  EXPECT_THROW(spec_from_line("funnel=pairwise"), std::invalid_argument);
 }
 
 TEST(StressSpec, PolicyNamesParse) {

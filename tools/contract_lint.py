@@ -321,6 +321,37 @@ SELF_TEST_CASES = [
     (None, "src/pq/x.hpp", "for (u32 i = 0; i < n; ++i) w.load_acquire();"),
     (None, "src/verify/x.cpp",
      "for (;;) {\n  SimPlatform::heartbeat();\n  if (!pq->delete_min()) break;\n}"),
+    # Aggregation-protocol idioms (src/funnel/aggregate.hpp, DESIGN.md §13).
+    # The join/close loops are condition-bounded (`while (h != kAggClosed)`
+    # is not an unbounded head) and every head-word access carries an
+    # explicit order — these shapes must stay clean, and their unsuffixed
+    # or backoff-free variants must stay flagged.
+    (None, "src/funnel/aggregate.hpp",
+     "while (h != kAggClosed) {\n"
+     "  self->agg.next.store_relaxed(h);\n"
+     "  if (head.compare_exchange(h, reinterpret_cast<u64>(self),\n"
+     "                            MemOrder::kAcqRel, MemOrder::kRelaxed))\n"
+     "    return true;\n}"),
+    (None, "src/funnel/aggregate.hpp",
+     "u64 p = head.exchange(kAggClosed, MemOrder::kAcqRel);"),
+    ("seq-cst", "src/funnel/aggregate.hpp",
+     "u64 p = head.exchange(kAggClosed);"),
+    (None, "src/funnel/counter.hpp",
+     "for (u32 i = 0; i < params_.agg_wait; ++i) P::relax();"),
+    (None, "src/funnel/counter.hpp",
+     "Backoff<P> central_backoff(16, 2048);\n"
+     "for (;;) {\n"
+     "  i64 val = central_.load_relaxed();\n"
+     "  if (central_.compare_exchange(val, nv, MemOrder::kAcqRel,\n"
+     "                                MemOrder::kRelaxed))\n"
+     "    break;\n"
+     "  central_backoff.spin();\n}"),
+    ("naked-spin", "src/funnel/counter.hpp",
+     "for (;;) {\n"
+     "  i64 val = central_.load_relaxed();\n"
+     "  if (central_.compare_exchange(val, nv, MemOrder::kAcqRel,\n"
+     "                                MemOrder::kRelaxed))\n"
+     "    break;\n}"),
 ]
 
 
