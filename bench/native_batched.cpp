@@ -11,8 +11,11 @@
 // operation). Each funnel queue appears twice: under its plain name with
 // the exchange collision protocol and as `<name>/agg` with the aggregation
 // protocol (one central RMW per aggregate), so the JSON carries the
-// exchange-vs-aggregation ablation directly. Output: human table on stdout
-// and the `fpq.native-bench.v2` JSON (BENCH_native_batched.json by
+// exchange-vs-aggregation ablation directly. The sharded relaxed composite
+// rides the same sweep as `Sharded[K]` cells; it has no native batch
+// aggregation (the adapter loops per entry), so its rows baseline what
+// sharding alone buys a batched caller. Output: human table on stdout
+// and the `fpq.native-bench.v3` JSON (BENCH_native_batched.json by
 // default) with per-result "batch" fields — see
 // bench_support/native_bench.hpp for the schema, including the
 // config.oversubscribed flag that marks runs whose thread counts exceed
@@ -36,12 +39,13 @@ constexpr u32 kPrios = 16;
 constexpr u32 kBatches[] = {1, 4, 16, 64};
 
 RepMeasurement run_rep(Algorithm algo, FunnelProtocol proto, u32 batch, u32 nthreads,
-                       u64 ops_per_thread) {
+                       u64 ops_per_thread, const ShardConfig& shard = {}) {
   PqParams params;
   params.npriorities = kPrios;
   params.maxprocs = nthreads;
   params.bin_capacity = 1u << 16;
   params.max_batch = batch;
+  params.shard = shard;
   FunnelOptions opts;
   opts.protocol = proto;
   auto pq = make_priority_queue<NativePlatform>(algo, params, opts);
@@ -60,7 +64,11 @@ RepMeasurement run_rep(Algorithm algo, FunnelProtocol proto, u32 batch, u32 nthr
       pq->delete_min_batch(std::span<Entry>(out));
     }
   });
-  return {secs, u64{nthreads} * rounds * 2 * batch};
+  RepMeasurement m;
+  m.seconds = secs;
+  m.ops = u64{nthreads} * rounds * 2 * batch;
+  if (algo == Algorithm::kSharded) m.shards = shard.effective_shards(nthreads);
+  return m;
 }
 
 } // namespace
@@ -79,6 +87,21 @@ int main(int argc, char** argv) {
       for (u32 batch : kBatches) {
         suite.run_batched_case("PqBatched", row, batch, [algo, proto, batch](u32 nt, u64 ops) {
           return run_rep(algo, proto, batch, nt, ops);
+        });
+      }
+    }
+  }
+  // The sharded composite under the same batched caller: no native batch
+  // aggregation (adapter-looped entries), so these rows isolate what the
+  // shard fan-out alone contributes when the workload arrives in batches.
+  {
+    const ShardConfig cfg{8, 2, ShardPolicyKind::kAdaptive};
+    const std::string name = "Sharded[8]";
+    if (suite.selected(name)) {
+      for (u32 batch : kBatches) {
+        suite.run_batched_case("PqBatched", name, batch, [cfg, batch](u32 nt, u64 ops) {
+          return run_rep(Algorithm::kSharded, FunnelProtocol::kExchange, batch, nt, ops,
+                         cfg);
         });
       }
     }

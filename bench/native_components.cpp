@@ -33,7 +33,10 @@ RepMeasurement component_rep(u32 nthreads, u64 ops_per_thread, MakeFixture make,
   const double secs = timed_parallel(nthreads, [&](ProcId) {
     for (u64 i = 0; i < ops_per_thread; ++i) op(*fixture);
   });
-  return {secs, u64{nthreads} * ops_per_thread * 2};
+  RepMeasurement m;
+  m.seconds = secs;
+  m.ops = u64{nthreads} * ops_per_thread * 2;
+  return m;
 }
 
 } // namespace

@@ -1,14 +1,19 @@
-// The seven queues on the NATIVE backend (std::atomic + real threads),
-// swept across an explicit thread-count list. Complements the simulator
-// figures with real-hardware numbers; oversubscribed counts are allowed
-// (and interesting — they exercise the spin-escalation paths).
+// The registry's queues on the NATIVE backend (std::atomic + real
+// threads), swept across an explicit thread-count list. Complements the
+// simulator figures with real-hardware numbers; oversubscribed counts are
+// allowed (and interesting — they exercise the spin-escalation paths).
 //
 // Each repetition builds a fresh queue, pre-fills it halfway, then runs a
 // mixed workload: every thread performs ops_per_thread insert+delete-min
 // pairs (both count as operations). The two funnel queues additionally
 // appear as `<name>/agg` rows running the aggregation collision protocol
 // (one central RMW per aggregate) for an exchange-vs-aggregation ablation.
-// Output: human table on stdout and the `fpq.native-bench.v2` JSON
+// The sharded relaxed composite appears as explicit `Sharded[K]` cells
+// (K shards, c-of-k sampling) rather than through the generic loop — its
+// shape IS the experiment — and each cell carries a "rank_error" quality
+// annotation from a separate untimed probe pass (verify/rank_error.hpp),
+// so the JSON holds the throughput-vs-precision tradeoff in one row.
+// Output: human table on stdout and the `fpq.native-bench.v3` JSON
 // (BENCH_native.json by default) — see bench_support/native_bench.hpp for
 // the schema and README for how to read / diff the file.
 //
@@ -17,6 +22,7 @@
 #include "bench_support/native_bench.hpp"
 #include "core/registry.hpp"
 #include "platform/native.hpp"
+#include "verify/rank_error.hpp"
 
 using namespace fpq;
 
@@ -44,7 +50,76 @@ RepMeasurement run_rep(Algorithm algo, FunnelProtocol proto, u32 nthreads,
       pq->delete_min();
     }
   });
-  return {secs, u64{nthreads} * ops_per_thread * 2};
+  RepMeasurement m;
+  m.seconds = secs;
+  m.ops = u64{nthreads} * ops_per_thread * 2;
+  return m;
+}
+
+PqParams sharded_params(const ShardConfig& cfg, u32 nthreads) {
+  PqParams params;
+  params.npriorities = kPrios;
+  params.maxprocs = nthreads;
+  params.bin_capacity = 1u << 16;
+  params.shard = cfg;
+  return params;
+}
+
+// Untimed quality probe for one sharded cell: a fresh queue, the same
+// insert+delete-min pair workload with recorded operations (history
+// recording is processor-local and unsynchronized, so it does not change
+// the contention being sampled), then a quiescent drain, scored with
+// verify/rank_error. Much shorter than a measured repetition — the
+// distribution stabilizes within a few thousand deletes per thread.
+RankErrorAnnotation probe_rank_error(const ShardConfig& cfg, u32 nthreads) {
+  constexpr u64 kProbePairs = 2048;
+  auto pq = make_priority_queue<NativePlatform>(Algorithm::kSharded,
+                                                sharded_params(cfg, nthreads));
+  HistoryRecorder rec(nthreads);
+  NativePlatform::run(nthreads, [&](ProcId id) {
+    for (u64 i = 0; i < kProbePairs; ++i) {
+      const Entry e{static_cast<Prio>(NativePlatform::rnd(kPrios)),
+                    (static_cast<u64>(id) << 32) | i};
+      const Cycles t0 = NativePlatform::now();
+      pq->insert(e.prio, e.item);
+      rec.record(OpRecord::insert_op(id, t0, NativePlatform::now(), e));
+      const Cycles t2 = NativePlatform::now();
+      const auto got = pq->delete_min();
+      rec.record(OpRecord::delete_op(id, t2, NativePlatform::now(), got));
+    }
+  });
+  NativePlatform::run(1, [&](ProcId id) {
+    for (;;) {
+      const Cycles t0 = NativePlatform::now();
+      const auto got = pq->delete_min();
+      rec.record(OpRecord::delete_op(id, t0, NativePlatform::now(), got));
+      if (!got) break;
+    }
+  });
+  const RankErrorReport rep = compute_rank_error(rec.merged());
+  return {true, rep.mean, rep.p99, rep.max};
+}
+
+RepMeasurement run_sharded_rep(const ShardConfig& cfg, u32 nthreads,
+                               u64 ops_per_thread) {
+  auto pq = make_priority_queue<NativePlatform>(Algorithm::kSharded,
+                                                sharded_params(cfg, nthreads));
+  NativePlatform::run(1, [&](ProcId) {
+    for (u32 i = 0; i < 256; ++i)
+      pq->insert(static_cast<Prio>(NativePlatform::rnd(kPrios)), i);
+  });
+  const double secs = timed_parallel(nthreads, [&](ProcId) {
+    for (u64 i = 0; i < ops_per_thread; ++i) {
+      pq->insert(static_cast<Prio>(NativePlatform::rnd(kPrios)), 7);
+      pq->delete_min();
+    }
+  });
+  RepMeasurement m;
+  m.seconds = secs;
+  m.ops = u64{nthreads} * ops_per_thread * 2;
+  m.shards = cfg.effective_shards(nthreads);
+  m.rank_error = probe_rank_error(cfg, nthreads);
+  return m;
 }
 
 } // namespace
@@ -54,6 +129,7 @@ int main(int argc, char** argv) {
   if (!opt.parse(argc, argv)) return 2;
   NativeBenchSuite suite("native_pq", opt);
   for (Algorithm algo : all_algorithms()) {
+    if (algo == Algorithm::kSharded) continue; // explicit Sharded[K] cells below
     const std::string name{to_string(algo)};
     if (!suite.selected(name)) continue;
     suite.run_case("PqMixed", name, [algo](u32 nt, u64 ops) {
@@ -66,6 +142,18 @@ int main(int argc, char** argv) {
       continue;
     suite.run_case("PqMixed", name + "/agg", [algo](u32 nt, u64 ops) {
       return run_rep(algo, FunnelProtocol::kAggregate, nt, ops);
+    });
+  }
+  // The sharded relaxed composite: fixed-shape cells (the auto heuristic
+  // would vary K with the thread count and blur the sweep). c = 2 is the
+  // classic power-of-two-choices sample; both cells run the adaptive
+  // access-mode policy. Each row carries the rank-error annotation.
+  for (const u32 k : {4u, 8u}) {
+    const std::string name = "Sharded[" + std::to_string(k) + "]";
+    if (!suite.selected(name)) continue;
+    const ShardConfig cfg{k, 2, ShardPolicyKind::kAdaptive};
+    suite.run_case("PqMixed", name, [cfg](u32 nt, u64 ops) {
+      return run_sharded_rep(cfg, nt, ops);
     });
   }
   return suite.finish();

@@ -82,12 +82,17 @@ bool sweep_oversubscribed(const std::vector<u32>& threads) {
 NativeBenchSuite::NativeBenchSuite(std::string suite, const NativeBenchOptions& opt)
     : suite_(std::move(suite)), opt_(opt) {
   NativePlatform::set_pin_threads(opt_.pin);
-  if (sweep_oversubscribed(opt_.threads))
+  // Once per run, not per suite/sweep row: a binary that builds several
+  // suites (or re-enters after a filter pass) must not repeat the banner.
+  static bool warned_oversubscribed = false;
+  if (sweep_oversubscribed(opt_.threads) && !warned_oversubscribed) {
+    warned_oversubscribed = true;
     std::fprintf(stderr,
                  "warning: thread sweep exceeds hardware_concurrency=%u — "
                  "throughput will measure scheduler multiplexing, not parallel "
                  "speedup (results flagged \"oversubscribed\")\n",
                  std::thread::hardware_concurrency());
+  }
 }
 
 bool NativeBenchSuite::selected(const std::string& name) const {
@@ -109,9 +114,13 @@ void NativeBenchSuite::run_batched_case(
     std::vector<double> ops_per_sec;
     std::vector<double> ns_per_op;
     u64 total_ops = 0;
+    u32 shards = 0;
+    RankErrorAnnotation rank_error;
     for (u32 r = 0; r < opt_.reps; ++r) {
       const RepMeasurement m = rep(nt, opt_.ops);
       total_ops = m.ops;
+      shards = m.shards;
+      if (m.rank_error.present) rank_error = m.rank_error;
       ops_per_sec.push_back(m.seconds > 0 ? double(m.ops) / m.seconds : 0.0);
       ns_per_op.push_back(m.ops > 0 ? m.seconds * 1e9 / double(m.ops) : 0.0);
     }
@@ -120,6 +129,8 @@ void NativeBenchSuite::run_batched_case(
     res.algo = algo;
     res.threads = nt;
     res.batch = batch;
+    res.shards = shards;
+    res.rank_error = rank_error;
     res.total_ops = total_ops;
     res.ops_per_sec = summarize_nonnegative(ops_per_sec);
     res.ns_per_op = summarize_nonnegative(ns_per_op);
@@ -151,7 +162,7 @@ int NativeBenchSuite::finish() {
   }
   JsonWriter w(f);
   w.begin_object();
-  w.field("schema", "fpq.native-bench.v2");
+  w.field("schema", "fpq.native-bench.v3");
   w.field("suite", suite_);
   w.key("build").begin_object();
 #ifdef FPQ_FORCE_SEQ_CST
@@ -184,6 +195,7 @@ int NativeBenchSuite::finish() {
     w.field("algo", r.algo);
     w.field("threads", r.threads);
     if (r.batch > 0) w.field("batch", r.batch);
+    if (r.shards > 0) w.field("shards", r.shards);
     w.field("reps", r.ops_per_sec.n);
     w.field("total_ops", r.total_ops);
     w.key("ops_per_sec").begin_object();
@@ -200,6 +212,13 @@ int NativeBenchSuite::finish() {
     w.field("ci95_hi", r.ns_per_op.ci95_hi);
     w.field("n", r.ns_per_op.n);
     w.end_object();
+    if (r.rank_error.present) {
+      w.key("rank_error").begin_object();
+      w.field("mean", r.rank_error.mean);
+      w.field("p99", r.rank_error.p99);
+      w.field("max", r.rank_error.max);
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();

@@ -6,12 +6,12 @@
 //   * re-creates the fixture for every repetition (no cross-rep warmth),
 //   * reports ops/sec and ns/op with 95% confidence intervals over
 //     repetitions (bench_support/stats.hpp), and
-//   * writes the stable `fpq.native-bench.v2` JSON schema consumed by CI
+//   * writes the stable `fpq.native-bench.v3` JSON schema consumed by CI
 //     and by perf-tracking diffs (see README "Native benchmarks").
 //
 // Schema (one document per binary invocation):
 //   {
-//     "schema": "fpq.native-bench.v2",
+//     "schema": "fpq.native-bench.v3",
 //     "suite": "native_pq" | "native_components" | "native_batched",
 //     "build": { "force_seq_cst": bool, "compiler": str,
 //                "hardware_concurrency": int, "sanitizer": str },
@@ -19,11 +19,17 @@
 //                 "quick": bool, "oversubscribed": bool },
 //     "results": [ { "bench": str, "algo": str, "threads": int,
 //                    "batch": int (present only for batched cells),
+//                    "shards": int (present only for sharded-composite
+//                                   cells),
 //                    "reps": int, "total_ops": int,
 //                    "ops_per_sec": { "mean": num, "sd": num,
 //                                     "ci95_lo": num, "ci95_hi": num,
 //                                     "n": int },
-//                    "ns_per_op":   { same shape } }, ... ]
+//                    "ns_per_op":   { same shape },
+//                    "rank_error":  { "mean": num, "p99": num, "max": int }
+//                                   (present only when the cell measured
+//                                    delete-min quality — the relaxed
+//                                    composite's rank-error probe) }, ... ]
 //   }
 // config.oversubscribed is true when the sweep's largest thread count
 // exceeds the machine's hardware_concurrency — throughput numbers from
@@ -34,8 +40,9 @@
 // negative intervals. ns_per_op is aggregate per-operation wall latency
 // (wall seconds * 1e9 / total ops), the native analogue of the sim
 // benches' cycles/op.
-// Additive changes bump the minor suffix (v2 -> v3); consumers must
-// ignore unknown fields.
+// Additive changes bump the minor suffix (v3 -> v4); consumers must
+// ignore unknown fields. v3 added the optional "shards" and "rank_error"
+// fields for the sharded relaxed composite's quality-vs-throughput rows.
 #pragma once
 
 #include <chrono>
@@ -65,15 +72,27 @@ struct NativeBenchOptions {
   bool parse(int argc, char** argv);
 };
 
-/// One (bench, algo, thread-count[, batch]) cell.
+/// Optional delete-min quality annotation of a cell (verify/rank_error):
+/// measured by a separate untimed probe pass, carried alongside the
+/// throughput summaries. Emitted as the "rank_error" JSON object.
+struct RankErrorAnnotation {
+  bool present = false;
+  double mean = 0.0;
+  double p99 = 0.0;
+  u64 max = 0;
+};
+
+/// One (bench, algo, thread-count[, batch][, shards]) cell.
 struct NativeBenchResult {
   std::string bench;
   std::string algo;
   u32 threads = 0;
   u32 batch = 0;         // 0 = point-op cell (no "batch" JSON field)
+  u32 shards = 0;        // 0 = unsharded cell (no "shards" JSON field)
   u64 total_ops = 0;     // per repetition
   Summary ops_per_sec;   // over repetitions
   Summary ns_per_op;     // aggregate wall latency per op, over repetitions
+  RankErrorAnnotation rank_error;
 };
 
 /// Time a NativePlatform::run section; returns wall seconds.
@@ -85,10 +104,14 @@ double timed_parallel(u32 nthreads, Fn&& fn) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-/// What one repetition measured: wall seconds for `ops` operations.
+/// What one repetition measured: wall seconds for `ops` operations, plus
+/// optional cell annotations (shard count, rank-error probe) that the
+/// suite copies onto the result row — the last measured repetition wins.
 struct RepMeasurement {
   double seconds = 0;
   u64 ops = 0;
+  u32 shards = 0;
+  RankErrorAnnotation rank_error;
 };
 
 class NativeBenchSuite {

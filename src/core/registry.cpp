@@ -15,6 +15,7 @@ std::string_view to_string(Algorithm a) {
     case Algorithm::kLinearFunnels: return "LinearFunnels";
     case Algorithm::kFunnelTree: return "FunnelTree";
     case Algorithm::kLockfreeSkipList: return "LockfreeSkiplist";
+    case Algorithm::kSharded: return "Sharded";
   }
   return "?";
 }
@@ -28,9 +29,9 @@ Algorithm algorithm_from_string(std::string_view name) {
 
 const std::vector<Algorithm>& all_algorithms() {
   static const std::vector<Algorithm> all = {
-      Algorithm::kSingleLock,   Algorithm::kHuntEtAl,      Algorithm::kSkipList,
-      Algorithm::kSimpleLinear, Algorithm::kSimpleTree,    Algorithm::kLinearFunnels,
-      Algorithm::kFunnelTree,   Algorithm::kLockfreeSkipList,
+      Algorithm::kSingleLock,   Algorithm::kHuntEtAl,         Algorithm::kSkipList,
+      Algorithm::kSimpleLinear, Algorithm::kSimpleTree,       Algorithm::kLinearFunnels,
+      Algorithm::kFunnelTree,   Algorithm::kLockfreeSkipList, Algorithm::kSharded,
   };
   return all;
 }
@@ -50,7 +51,10 @@ std::string_view to_string(ProgressGuarantee g) {
 ProgressGuarantee progress_guarantee(Algorithm a) {
   // Everything the paper evaluates is lock-based (MCS levels, bin locks,
   // combining funnels that hand results through captured partners); only
-  // the Linden/Jonsson-style skiplist extension is lock-free.
+  // the Linden/Jonsson-style skiplist extension is lock-free. The sharded
+  // composite is blocking despite its lock-free backends: a client whose
+  // request was claimed by a combiner that then dies waits forever
+  // (sharded_pq.hpp's delegation protocol).
   return a == Algorithm::kLockfreeSkipList ? ProgressGuarantee::kLockFree
                                            : ProgressGuarantee::kBlocking;
 }

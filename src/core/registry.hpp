@@ -1,7 +1,8 @@
-// Algorithm registry: the seven queue algorithms the paper evaluates plus
-// the Linden/Jonsson-style lock-free skiplist extension, a name table, and
-// a type-erased factory so benchmarks and examples can be written once and
-// swept over algorithms and platforms.
+// Algorithm registry: the seven queue algorithms the paper evaluates, the
+// Linden/Jonsson-style lock-free skiplist extension, and the sharded
+// relaxed composite on top of it, plus a name table and a type-erased
+// factory so benchmarks and examples can be written once and swept over
+// algorithms and platforms.
 #pragma once
 
 #include <memory>
@@ -13,6 +14,7 @@
 #include "pq/linear_funnels_pq.hpp"
 #include "pq/lockfree_skiplist_pq.hpp"
 #include "pq/pq.hpp"
+#include "pq/sharded_pq.hpp"
 #include "pq/simple_linear_pq.hpp"
 #include "pq/simple_tree_pq.hpp"
 #include "pq/single_lock_pq.hpp"
@@ -29,6 +31,7 @@ enum class Algorithm {
   kLinearFunnels,
   kFunnelTree,
   kLockfreeSkipList,
+  kSharded,
 };
 
 /// Paper-faithful display names.
@@ -37,8 +40,8 @@ std::string_view to_string(Algorithm a);
 /// Parses a display name (case-sensitive); throws std::invalid_argument.
 Algorithm algorithm_from_string(std::string_view name);
 
-/// All eight: the paper's seven in presentation order, then the lock-free
-/// skiplist extension.
+/// All nine: the paper's seven in presentation order, then the lock-free
+/// skiplist extension, then the sharded relaxed composite built on it.
 const std::vector<Algorithm>& all_algorithms();
 
 /// The four algorithms the paper carries into its high-concurrency
@@ -89,6 +92,16 @@ std::unique_ptr<IPriorityQueue<P>> make_priority_queue(Algorithm a,
       return std::make_unique<PqAdapter<P, FunnelTreePq<P>>>(params, opts);
     case Algorithm::kLockfreeSkipList:
       return std::make_unique<PqAdapter<P, LockfreeSkipListPq<P>>>(params);
+    case Algorithm::kSharded: {
+      // Composite queue over per-shard LockfreeSkiplist backends (dynamic
+      // allocation, so reinstate's no-drop retry contract holds — see
+      // sharded_pq.hpp's backend-requirement note).
+      typename ShardedPq<P>::BackendFactory backend = [](const PqParams& bp) {
+        return std::unique_ptr<IPriorityQueue<P>>(
+            std::make_unique<PqAdapter<P, LockfreeSkipListPq<P>>>(bp));
+      };
+      return std::make_unique<PqAdapter<P, ShardedPq<P>>>(params, backend);
+    }
   }
   FPQ_ASSERT_MSG(false, "unknown algorithm");
   return nullptr;

@@ -87,6 +87,29 @@ struct alignas(kCacheLineBytes) AggregateEndpoint {
     return false;
   }
 
+  /// Representative only, between open() and close_into(): burn up to
+  /// `budget` relax beats, returning early once no new joiner has been
+  /// observed for `idle_limit` consecutive beats (adaptive window close —
+  /// a solo caller stops paying the whole window, a busy one keeps it open
+  /// to the budget). The polls are relaxed reads of a word the join CASes
+  /// write acq_rel — pure hints, racing nothing; the closing exchange in
+  /// close_into still owns the synchronizing edge.
+  void wait_open_window(u32 budget, u32 idle_limit) {
+    u64 last = head.load_relaxed();
+    u32 idle = 0;
+    for (u32 i = 0; i < budget && idle < idle_limit; ++i) {
+      P::relax();
+      if ((i & 3u) != 3u) continue; // poll every 4th beat: mostly local work
+      const u64 h = head.load_relaxed();
+      if (h == last) {
+        idle += 4;
+      } else {
+        last = h; // someone joined: restart the idle clock
+        idle = 0;
+      }
+    }
+  }
+
   /// Representative only: stop accepting joiners and collect them (most
   /// recent first) into `out`. The acquire half of the exchange is the
   /// edge that makes every joiner's relaxed payload readable; the `next`

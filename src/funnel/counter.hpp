@@ -175,6 +175,11 @@ class FunnelCounter {
 
   const Config& config() const { return cfg_; }
 
+  /// Total joiner slices folded by aggregate representatives (quiescent
+  /// use; 0 unless the protocol is kAggregate). Lets tests assert that an
+  /// adaptively-closed window still forms multi-party aggregates.
+  u64 folded_joins() const { return folded_joins_.load_acquire(); }
+
  private:
   static constexpr u64 kLocEmpty = 0;
   static constexpr u32 kStEmpty = 0;
@@ -396,15 +401,18 @@ class FunnelCounter {
     }
   }
 
-  /// Representative path: keep the aggregate open for agg_wait beats, close
-  /// it, release the slot, fold every participant's slice into ONE central
-  /// RMW, and hand out positional verdicts. Sequential order of the
-  /// aggregate: <my own batch, joiners in close order>, each slice applied
-  /// whole with the clamp folded in (after_slice).
+  /// Representative path: keep the aggregate open for up to agg_wait beats
+  /// (closing early once joins stop arriving), close it, release the slot,
+  /// fold every participant's slice into ONE central RMW, and hand out
+  /// positional verdicts. Sequential order of the aggregate: <my own
+  /// batch, joiners in close order>, each slice applied whole with the
+  /// clamp folded in (after_slice).
   Done serve_aggregate(Rec& my, Slot& slot) {
     my.agg.open();
-    for (u32 i = 0; i < params_.agg_wait; ++i) P::relax();
+    my.agg.wait_open_window(params_.agg_wait, params_.agg_idle_limit());
     my.agg.close_into(my.children);
+    if (!my.children.empty())
+      folded_joins_.fetch_add(my.children.size(), MemOrder::kAcqRel);
     Rec* self = &my;
     slot.compare_exchange(self, nullptr, MemOrder::kAcqRel, MemOrder::kRelaxed);
     adapt(my, !my.children.empty());
@@ -612,6 +620,9 @@ class FunnelCounter {
   /// The hot word every surviving tree CASes; keep it off its neighbors'
   /// cache lines.
   alignas(kCacheLineBytes) typename P::template Shared<i64> central_;
+  /// Aggregation fold statistic (folded_joins); cold, written only by
+  /// representatives that actually collected joiners.
+  alignas(kCacheLineBytes) typename P::template Shared<u64> folded_joins_{0};
   std::vector<std::unique_ptr<Rec>> records_;
   /// Layer slots are swapped by unrelated processors — one per cache line.
   std::vector<std::unique_ptr<Padded<Slot>[]>> layers_;

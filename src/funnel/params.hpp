@@ -65,10 +65,23 @@ struct FunnelParams {
   /// Which collision protocol the layers run (see FunnelProtocol).
   FunnelProtocol protocol = FunnelProtocol::kExchange;
   /// Aggregation only: how many relax() beats a representative keeps its
-  /// record open for late joiners before closing the aggregate. The window
-  /// is pure opportunity cost when uncontended (one solo RMW after the
-  /// wait) and amortizes to ~zero per op once joiners arrive.
+  /// record open for late joiners before closing the aggregate — an upper
+  /// bound; the window closes early once joins stop arriving (see
+  /// agg_idle_limit / AggregateEndpoint::wait_open_window), so the
+  /// uncontended cost is the idle threshold, not the whole budget.
   u32 agg_wait = 32;
+
+  /// Adaptive-close idle threshold derived from the budget: a small
+  /// fraction of it, clamped to [8, 128] beats. The upper clamp bounds a
+  /// solo representative's latency however large the configured window
+  /// is; it must still exceed one cross-processor fetch round trip
+  /// (~100+ cycles on the simulated mesh, a relax beat being t_pause=4),
+  /// or a joiner that already saw the open aggregate loses its join CAS
+  /// to the close and is orphaned into a second central RMW.
+  u32 agg_idle_limit() const {
+    const u32 frac = agg_wait / 8;
+    return frac < 8 ? 8 : (frac > 128 ? 128 : frac);
+  }
 
   void validate() const {
     FPQ_ASSERT_MSG(levels <= kMaxFunnelLevels, "too many funnel levels");

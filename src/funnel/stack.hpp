@@ -396,11 +396,12 @@ class FunnelStack {
     return central_apply(my); // no aggregate formed: serve the own batch solo
   }
 
-  /// Representative path. The open window is agg_wait relax beats plus the
+  /// Representative path. The open window is up to agg_wait relax beats
+  /// (closed early once joins stop arriving — wait_open_window) plus the
   /// MCS acquisition wait — under contention the lock queueing delay is
-  /// exactly when joiners pile on, and the fixed beats keep a window open
-  /// even when the lock is free (the adaptive fast path already bypasses
-  /// the funnel when that latency would be wasted). Inside the critical
+  /// exactly when joiners pile on, and the adaptive window keeps a door
+  /// open even when the lock is free (the adaptive fast path already
+  /// bypasses the funnel when that latency would be wasted). Inside the critical
   /// section every participant's slice is applied in sequence
   /// (representative first, then joiners in close order), each with the
   /// same per-record all-or-nothing rules as a point batch; verdicts are
@@ -408,7 +409,7 @@ class FunnelStack {
   /// computed inside somebody's critical section.
   u64 serve_aggregate(Rec& my, Slot& slot) {
     my.agg.open();
-    for (u32 i = 0; i < params_.agg_wait; ++i) P::relax();
+    my.agg.wait_open_window(params_.agg_wait, params_.agg_idle_limit());
     my.verdicts.clear();
     u32 mine;
     {

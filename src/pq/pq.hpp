@@ -31,6 +31,7 @@
 #include "common/entry.hpp"
 #include "common/types.hpp"
 #include "platform/platform.hpp"
+#include "pq/shard_policy.hpp"
 #include "reclaim/policy.hpp"
 #include "sync/backoff.hpp"
 #include "sync/try_budget.hpp"
@@ -80,6 +81,9 @@ struct PqParams {
   /// per-record funnel buffers, so the default keeps the point-operation
   /// memory footprint — raise it when using the batch API in earnest.
   u32 max_batch = 1;
+  /// Sharding configuration of the composite queue (pq/sharded_pq.hpp);
+  /// every other algorithm ignores it.
+  ShardConfig shard = {};
 
   void validate() const {
     FPQ_ASSERT_MSG(npriorities >= 1 && npriorities < kMaxPackablePrio,
@@ -88,6 +92,7 @@ struct PqParams {
     FPQ_ASSERT_MSG(bin_capacity >= 1, "bin_capacity must be positive");
     FPQ_ASSERT_MSG(heap_capacity >= 1, "heap_capacity must be positive");
     FPQ_ASSERT_MSG(max_batch >= 1, "max_batch must be positive");
+    shard.validate();
   }
 };
 

@@ -1,0 +1,200 @@
+// Shard-access policy for the composite "PQ of PQs" (pq/sharded_pq.hpp):
+// configuration (shard count, c-of-k sample width, access-mode policy), the
+// processor-to-home-shard placement map, and the per-shard contention
+// monitor that drives SmartPQ-style adaptive mode switching (arXiv
+// 2406.06900; Calciu et al., arXiv 1408.1021).
+//
+// ## Placement and the ccNUMA mesh
+//
+// The simulated machine (sim/memory.hpp) numbers its mesh nodes row-major,
+// so a contiguous block of processor ids occupies a contiguous — and
+// therefore mesh-proximate — patch of nodes. home_shard() exploits that:
+// it partitions [0, maxprocs) into K contiguous blocks, one per shard, so
+// a shard's regular clients are each other's mesh neighbours and the
+// shard's words (first-touch homed near whoever initializes and hammers
+// them) stay few hops away. On the native backend the same map degrades
+// gracefully to "spread the processors evenly across shards".
+//
+// ## Adaptive access mode (per shard)
+//
+// Each shard runs in one of two access modes:
+//   kDirect   — every processor CASes the shard's words itself (multiqueue
+//               style; best at low contention and across few mesh hops);
+//   kDelegate — processors post requests into per-processor combining
+//               slots and one server (whoever wins the shard's TTAS lock)
+//               applies them all (flat combining / SmartPQ NUMA-server
+//               style; best once CAS failure rates climb).
+// The monitor accumulates per-shard operation and CAS-failure counts and,
+// once per kWindowOps operations, folds the window's failure rate and
+// occupancy into EWMAs (fixed-point /256). ShardPolicyKind::kAdaptive
+// flips the mode word by hysteresis on the contention EWMA; the occupancy
+// EWMA gates delegation (serving an always-empty shard through a server
+// buys nothing). kDirect/kDelegate pin the mode at construction.
+//
+// All monitor words are written with kAcqRel RMWs (and the EWMA/mode words
+// with acq_rel CASes), so the happens-before race detector sees every
+// update ordered; the monitor is heuristic state, but "heuristic" is not
+// an exemption from the declared-order contract (DESIGN.md §8/§10).
+#pragma once
+
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+
+namespace fpq {
+
+/// Access-mode policy of a sharded queue (CLI spelling in parentheses).
+enum class ShardPolicyKind : u8 {
+  kDirect = 0,   // "direct":   every shard stays in direct-CAS mode
+  kDelegate = 1, // "delegate": every shard stays in server-delegation mode
+  kAdaptive = 2, // "adaptive": per-shard hysteresis on the contention EWMA
+};
+
+inline const char* to_string(ShardPolicyKind k) {
+  switch (k) {
+    case ShardPolicyKind::kDirect: return "direct";
+    case ShardPolicyKind::kDelegate: return "delegate";
+    case ShardPolicyKind::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+/// Parse "direct"/"delegate"/"adaptive" into `out`; false on anything else.
+inline bool shard_policy_from_string(const std::string& s, ShardPolicyKind& out) {
+  if (s == "direct") {
+    out = ShardPolicyKind::kDirect;
+    return true;
+  }
+  if (s == "delegate") {
+    out = ShardPolicyKind::kDelegate;
+    return true;
+  }
+  if (s == "adaptive") {
+    out = ShardPolicyKind::kAdaptive;
+    return true;
+  }
+  return false;
+}
+
+inline constexpr u32 kMaxShards = 64;
+
+/// Configuration of a ShardedPq, carried inside PqParams so the registry
+/// factory, the stress harness and the benches all speak the same knobs.
+struct ShardConfig {
+  /// Number of sub-queues K; 0 = auto (one shard per two expected
+  /// processors, clamped to [1, 8] — the mesh-block placement then gives
+  /// every shard a two-processor home block).
+  u32 shards = 0;
+  /// Delete-min sample width c: peek c randomly chosen shards and pop the
+  /// best. 0 (or >= K) = scan every shard — sampling degenerates to exact
+  /// delete-min and the composite is quiescently precise.
+  u32 sample_c = 0;
+  /// Access-mode policy (see ShardPolicyKind).
+  ShardPolicyKind policy = ShardPolicyKind::kAdaptive;
+
+  /// Effective shard count for a queue shared by `maxprocs` processors.
+  u32 effective_shards(u32 maxprocs) const {
+    if (shards != 0) return shards < kMaxShards ? shards : kMaxShards;
+    const u32 k = maxprocs / 2;
+    return k < 1 ? 1 : (k > 8 ? 8 : k);
+  }
+
+  /// Effective sample width against `k` shards (0 and oversized both mean
+  /// "all of them").
+  u32 effective_sample(u32 k) const {
+    return (sample_c == 0 || sample_c >= k) ? k : sample_c;
+  }
+
+  void validate() const {
+    FPQ_ASSERT_MSG(shards <= kMaxShards, "shard count exceeds kMaxShards");
+  }
+};
+
+/// Home shard of processor `proc`: contiguous processor-id blocks map to
+/// contiguous (row-major, hence mesh-proximate) node patches — see the
+/// header comment. Inserts go home; delete-min samples randomly.
+inline u32 home_shard(ProcId proc, u32 maxprocs, u32 nshards) {
+  const u32 p = maxprocs > 0 ? proc % maxprocs : 0;
+  return static_cast<u32>((static_cast<u64>(p) * nshards) / (maxprocs ? maxprocs : 1));
+}
+
+/// Per-shard contention/occupancy monitor + mode word. One instance lives
+/// inside each shard descriptor (cache-line padded by the owner; the
+/// contract-lint unpadded-shard-array rule enforces that).
+template <Platform P>
+struct ShardMonitor {
+  /// Operations per monitoring window.
+  static constexpr u64 kWindowOps = 64;
+  /// Hysteresis thresholds on the contention EWMA (fixed-point /256):
+  /// switch to delegation above kHi, back to direct below kLo.
+  static constexpr u32 kHi = 96;
+  static constexpr u32 kLo = 24;
+  /// Minimum occupancy EWMA (items, /256 fixed point — i.e. >= 1 item on
+  /// average) before delegation is considered worthwhile.
+  static constexpr u32 kOccMin = 256;
+
+  static constexpr u32 kModeDirect = 0;
+  static constexpr u32 kModeDelegate = 1;
+
+  typename P::template Shared<u32> mode{kModeDirect};
+  typename P::template Shared<u64> ops{0};
+  typename P::template Shared<u64> cas_fails{0};
+  typename P::template Shared<u64> size{0}; // approximate occupancy (items)
+  typename P::template Shared<u32> contention_ewma{0}; // /256
+  typename P::template Shared<u32> occupancy_ewma{0};  // items * 256
+
+  bool delegated() const { return mode.load_acquire() == kModeDelegate; }
+
+  void note_cas_fail() { cas_fails.fetch_add(1, MemOrder::kAcqRel); }
+  void note_size(i64 delta) {
+    if (delta >= 0)
+      size.fetch_add(static_cast<u64>(delta), MemOrder::kAcqRel);
+    else
+      size.fetch_sub(static_cast<u64>(-delta), MemOrder::kAcqRel);
+  }
+
+  /// Per-operation pulse. The processor that completes a window boundary
+  /// folds the window into the EWMAs and (under kAdaptive) applies the
+  /// hysteresis decision. Both folds are single-shot acq_rel CASes — a
+  /// lost race just skips one window, which a heuristic can afford.
+  void note_op(ShardPolicyKind policy) {
+    const u64 n = ops.fetch_add(1, MemOrder::kAcqRel) + 1;
+    if ((n % kWindowOps) != 0) return;
+    const u64 fails = cas_fails.exchange(0, MemOrder::kAcqRel);
+    u64 rate = fails * 256 / kWindowOps;
+    if (rate > 256) rate = 256; // >1 failure per op: saturate
+    u32 c = contention_ewma.load_acquire();
+    const u32 nc = static_cast<u32>((3ull * c + rate) / 4);
+    contention_ewma.compare_exchange(c, nc, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    const i64 sz = static_cast<i64>(size.load_acquire());
+    const u64 occ = sz > 0 ? static_cast<u64>(sz) * 256 : 0;
+    u32 o = occupancy_ewma.load_acquire();
+    u64 no64 = (3ull * o + occ) / 4;
+    if (no64 > 0xFFFFFFFFull) no64 = 0xFFFFFFFFull;
+    occupancy_ewma.compare_exchange(o, static_cast<u32>(no64), MemOrder::kAcqRel,
+                                    MemOrder::kRelaxed);
+    if (policy != ShardPolicyKind::kAdaptive) return;
+    const u32 cur = mode.load_acquire();
+    if (cur == kModeDirect && nc >= kHi && no64 >= kOccMin) {
+      u32 expect = kModeDirect;
+      mode.compare_exchange(expect, kModeDelegate, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    } else if (cur == kModeDelegate && nc <= kLo) {
+      u32 expect = kModeDelegate;
+      mode.compare_exchange(expect, kModeDirect, MemOrder::kAcqRel, MemOrder::kRelaxed);
+    }
+  }
+};
+
+/// Snapshot of one shard's monitor, for tests and diagnostics.
+struct ShardStats {
+  u32 shard = 0;
+  bool delegated = false;
+  u64 ops = 0;
+  u64 size = 0;
+  u32 contention_ewma = 0; // /256
+  u32 occupancy_ewma = 0;  // items * 256
+};
+
+} // namespace fpq

@@ -1,0 +1,377 @@
+// ShardedPq: a composite "PQ of PQs" (ROADMAP item 3, SmartPQ arXiv
+// 2406.06900, Calciu et al. arXiv 1408.1021, multiqueue c-of-k sampling).
+//
+// K sub-queues ("shards"), each a full registry queue behind a one-word
+// *stash* holding the shard's packed minimum entry. Inserts go to the
+// caller's home shard (pq/shard_policy.hpp maps contiguous processor-id
+// blocks to contiguous, mesh-proximate node patches); delete-min peeks the
+// stashes of c randomly sampled shards and pops the best one.
+//
+// ## Relaxation contract
+//
+// With c == K every delete-min scans every stash, so on a sequential
+// history the result is the exact global minimum (the stash invariant
+// below) — rank error 0; overlapping operations can perturb that by a
+// bounded amount (see the invariant's concurrency note).
+// With c < K a delete-min may miss the shard holding the true minimum and
+// return the best of its sample instead: rank error is nonzero but bounded
+// by the number of smaller entries parked on unsampled shards (verified by
+// verify/rank_error.hpp). Quiescent *emptiness* is never relaxed: before
+// reporting empty the scan widens to all K shards and drains each backend's
+// head, so nullopt still means quiescently empty.
+//
+// ## Stash invariant
+//
+// On sequential histories, each shard's stash holds the minimum of that
+// shard and the stash is empty iff the shard is empty. Inserts keep it: an
+// entry smaller than the stash swaps itself in and reinstates the
+// displaced entry (stash first, backend otherwise); larger entries go
+// straight to the backend. Delete-min claims the stash word by CAS and
+// refills it from the backend before returning.
+//
+// Under concurrency the invariant is best-effort: the straight-to-backend
+// branch decides against a stash value that a concurrent pop's refill can
+// change, so a completed overlapping insert/pop pair may leave the stash
+// above the backend head — a bounded perturbation that persists until
+// that shard is popped again (it is what the rank-error metric measures,
+// and why even c == K is only *sequentially* exact). direct_insert
+// revalidates after a backend insert and pulls the backend head back up,
+// which empirically keeps the steady-state rank error near zero. The
+// empty-path backend drain above repairs the fail-stop variant (a
+// crashed refiller), so entries can never become unreachable at drain
+// time.
+//
+// ## Access modes (shard_policy.hpp)
+//
+// kDirect: every processor CASes the stash itself. kDelegate: processors
+// post requests into per-processor combining slots and whoever holds the
+// shard's TTAS server lock applies them (flat combining). The combiner runs
+// the *same* direct primitives, so correctness is mode-independent — the
+// monitor's mode word is purely a performance decision and may flip
+// mid-operation without a handshake. Slot protocol (all state writes are
+// release stores or acq_rel RMWs; arg/resp are relaxed but ordered through
+// the state word — DESIGN.md §14 has the §8.2-style order table):
+//
+//   client:   arg <-rel'd- payload; state -release-> kReqInsert/kReqDelete;
+//             loop { state acquire == kReqDone? take resp, state -release->
+//             kReqIdle; else try_acquire server lock and combine }
+//   combiner: scan states (acquire); claim posted slots by CAS(posted ->
+//             kReqClaimed, acq_rel) — an RMW, so a stale combiner can never
+//             re-serve a slot another combiner already claimed; execute;
+//             resp <-rel'd- result; state -release-> kReqDone.
+//
+// The client's wait loop self-services (it keeps trying the server lock),
+// so a posted request never waits on a combiner that left before seeing
+// it; each iteration touches shared words, so the fault watchdog sees a
+// client wedged behind a crashed combiner (the queue is declared
+// kBlocking in the registry for exactly this window).
+//
+// ## Backend requirement
+//
+// reinstate() must never drop an entry that is already linearized into the
+// shard, so it retries a refused backend insert forever. The default
+// backend (LockfreeSkiplist) only refuses under the fault engine's finite
+// alloc-failure injection; a capacity-bounded backend needs enough headroom
+// that a displaced entry always fits (give each shard the full caller
+// capacity, as the registry factory does).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/entry.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "platform/platform.hpp"
+#include "pq/pq.hpp"
+#include "pq/shard_policy.hpp"
+#include "sync/backoff.hpp"
+#include "sync/ttas_lock.hpp"
+
+namespace fpq {
+
+template <Platform P>
+class ShardedPq {
+ public:
+  /// Builds one backend sub-queue; called K times at construction with
+  /// per-shard params (distinct seeds, shard config cleared). Type-erased
+  /// so any registry entry can serve without a circular registry include.
+  using BackendFactory = std::function<std::unique_ptr<IPriorityQueue<P>>(const PqParams&)>;
+
+  ShardedPq(const PqParams& params, const BackendFactory& make_backend)
+      : params_(params),
+        maxprocs_(params.maxprocs),
+        k_(params.shard.effective_shards(params.maxprocs)),
+        c_(params.shard.effective_sample(k_)),
+        policy_(params.shard.policy) {
+    params_.validate();
+    params_.shard.validate();
+    shards_ = std::make_unique<Padded<Shard>[]>(k_);
+    PqParams bp = params_;
+    bp.shard = {}; // backends are plain queues
+    for (u32 s = 0; s < k_; ++s) {
+      Shard& sh = *shards_[s];
+      bp.seed = params_.seed + 0x9E3779B97F4A7C15ull * (s + 1);
+      sh.backend = make_backend(bp);
+      FPQ_ASSERT_MSG(sh.backend != nullptr, "backend factory returned null");
+      sh.slots = std::make_unique<Padded<ReqSlot>[]>(maxprocs_);
+      if (policy_ == ShardPolicyKind::kDelegate)
+        sh.mon->mode.store_relaxed(ShardMonitor<P>::kModeDelegate);
+    }
+  }
+
+  bool insert(Prio prio, Item item) {
+    FPQ_ASSERT_MSG(prio < params_.npriorities, "priority out of range");
+    const Entry e{prio, item};
+    Shard& sh = shard(home_shard(P::self(), maxprocs_, k_));
+    if (sh.mon->delegated()) return delegate_op(sh, kReqInsert, pack_entry(e)) != 0;
+    return direct_insert(sh, e);
+  }
+
+  std::optional<Entry> delete_min() {
+    Backoff<P> bo;
+    for (;;) {
+      u32 best = k_;
+      u64 bestw = kNoEntry;
+      auto consider = [&](u32 s) {
+        const u64 w = shard(s).stash.word.load_acquire();
+        if (w != kNoEntry && (best == k_ || unpack_entry(w).prio < unpack_entry(bestw).prio)) {
+          best = s;
+          bestw = w;
+        }
+      };
+      if (c_ >= k_) {
+        // Exact mode: deterministic full scan (ties break toward the lowest
+        // shard index), no randomness consumed.
+        for (u32 s = 0; s < k_; ++s) consider(s);
+      } else {
+        for (u32 i = 0; i < c_; ++i) consider(static_cast<u32>(P::rnd(k_)));
+        // Never report empty off a partial sample: widen to all shards.
+        if (best == k_)
+          for (u32 s = 0; s < k_; ++s) consider(s);
+      }
+      if (best == k_) {
+        // Every stash is empty. Repair any refill gap before concluding
+        // empty: a processor that died (or is paused) between claiming a
+        // stash and refilling it leaves its shard's entries visible only in
+        // the backend. Pull each backend's head up into its stash; if
+        // nothing surfaced anywhere, the queue is quiescently empty.
+        bool repaired = false;
+        for (u32 s = 0; s < k_; ++s) {
+          if (auto r = shard(s).backend->delete_min()) {
+            reinstate(shard(s), *r);
+            repaired = true;
+          }
+        }
+        if (!repaired) return std::nullopt;
+        continue;
+      }
+      Shard& sh = shard(best);
+      const u64 got = sh.mon->delegated() ? delegate_op(sh, kReqDelete, 0) : direct_pop(sh);
+      if (got != kNoEntry) return unpack_entry(got);
+      bo.spin(); // lost the claim (or the shard drained under us): resample
+    }
+  }
+
+  void adopt_orphans(ProcId dead, ProcId adopter) {
+    for (u32 s = 0; s < k_; ++s) shard(s).backend->adopt_orphans(dead, adopter);
+  }
+
+  u32 npriorities() const { return params_.npriorities; }
+  u32 shard_count() const { return k_; }
+  u32 sample_width() const { return c_; }
+  ShardPolicyKind policy() const { return policy_; }
+
+  /// Monitor snapshot of every shard (tests, diagnostics).
+  std::vector<ShardStats> stats() const {
+    std::vector<ShardStats> out(k_);
+    for (u32 s = 0; s < k_; ++s) {
+      const ShardMonitor<P>& m = *shard(s).mon;
+      out[s].shard = s;
+      out[s].delegated = m.mode.load_acquire() == ShardMonitor<P>::kModeDelegate;
+      out[s].ops = m.ops.load_acquire();
+      out[s].size = m.size.load_acquire();
+      out[s].contention_ewma = m.contention_ewma.load_acquire();
+      out[s].occupancy_ewma = m.occupancy_ewma.load_acquire();
+    }
+    return out;
+  }
+
+  /// Direct monitor access (unit tests drive window folds through it).
+  ShardMonitor<P>& monitor(u32 s) { return *shard(s).mon; }
+
+ private:
+  // Slot states of the delegation protocol (header comment).
+  static constexpr u32 kReqIdle = 0;
+  static constexpr u32 kReqInsert = 1;
+  static constexpr u32 kReqDelete = 2;
+  static constexpr u32 kReqClaimed = 3;
+  static constexpr u32 kReqDone = 4;
+
+  /// Direct-mode stash claim attempts before giving the caller back to the
+  /// sampling loop (a failed claim means someone else made progress).
+  static constexpr u32 kClaimAttempts = 4;
+
+  struct ReqSlot {
+    typename P::template Shared<u32> state{kReqIdle};
+    typename P::template Shared<u64> arg{0};
+    typename P::template Shared<u64> resp{0};
+  };
+
+  /// One packed entry (the shard's quiescent minimum) on its own line.
+  struct alignas(kCacheLineBytes) StashLine {
+    typename P::template Shared<u64> word{kNoEntry};
+  };
+
+  struct Shard {
+    StashLine stash;
+    Padded<ShardMonitor<P>> mon;
+    Padded<TtasLock<P>> server;
+    std::unique_ptr<Padded<ReqSlot>[]> slots;
+    std::unique_ptr<IPriorityQueue<P>> backend;
+  };
+
+  Shard& shard(u32 s) { return *shards_[s]; }
+  const Shard& shard(u32 s) const { return *shards_[s]; }
+
+  bool direct_insert(Shard& sh, Entry e) {
+    const u64 w = pack_entry(e);
+    Backoff<P> bo;
+    u64 cur = sh.stash.word.load_acquire();
+    for (;;) {
+      if (cur == kNoEntry) {
+        if (sh.stash.word.compare_exchange(cur, w, MemOrder::kAcqRel, MemOrder::kAcquire)) {
+          sh.mon->note_size(1);
+          sh.mon->note_op(policy_);
+          return true;
+        }
+        sh.mon->note_cas_fail();
+        continue; // cur was refreshed by the failed CAS
+      }
+      if (e.prio < unpack_entry(cur).prio) {
+        const u64 displaced = cur;
+        if (sh.stash.word.compare_exchange(cur, w, MemOrder::kAcqRel, MemOrder::kAcquire)) {
+          sh.mon->note_size(1);
+          sh.mon->note_op(policy_);
+          reinstate(sh, unpack_entry(displaced));
+          return true;
+        }
+        sh.mon->note_cas_fail();
+        bo.spin();
+        continue;
+      }
+      if (sh.backend->insert(e.prio, e.item)) {
+        sh.mon->note_size(1);
+        sh.mon->note_op(policy_);
+        // Revalidate: a concurrent pop may have refilled the stash from
+        // the backend between our stash read and the backend insert,
+        // stranding our (smaller) entry below a larger stash. Pull the
+        // backend head back up; reinstate() re-settles it into whichever
+        // of stash/backend it belongs.
+        const u64 now = sh.stash.word.load_acquire();
+        if (now == kNoEntry || e.prio < unpack_entry(now).prio) {
+          if (auto r = sh.backend->delete_min()) reinstate(sh, *r);
+        }
+        return true;
+      }
+      return false; // backend refusal (capacity/alloc): structure untouched
+    }
+  }
+
+  /// Pops the stash (bounded claim attempts) and refills it from the
+  /// backend. kNoEntry = stash empty or claim lost; the caller resamples.
+  u64 direct_pop(Shard& sh) {
+    u64 cur = sh.stash.word.load_acquire();
+    for (u32 n = 0; n < kClaimAttempts && cur != kNoEntry; ++n) {
+      if (sh.stash.word.compare_exchange(cur, kNoEntry, MemOrder::kAcqRel, MemOrder::kAcquire)) {
+        sh.mon->note_size(-1);
+        sh.mon->note_op(policy_);
+        if (auto r = sh.backend->delete_min()) reinstate(sh, *r);
+        return cur;
+      }
+      sh.mon->note_cas_fail();
+    }
+    return kNoEntry;
+  }
+
+  /// Puts an entry that is already linearized into the shard back where a
+  /// delete-min can see it: into the stash if it is empty or held by a
+  /// larger entry (whose displacement continues the loop), into the backend
+  /// otherwise. Must not fail — a refused backend insert is retried (see
+  /// the backend-requirement header note). Never touches the size counter.
+  void reinstate(Shard& sh, Entry e) {
+    Backoff<P> bo;
+    for (;;) {
+      u64 cur = sh.stash.word.load_acquire();
+      if (cur == kNoEntry || e.prio < unpack_entry(cur).prio) {
+        if (sh.stash.word.compare_exchange(cur, pack_entry(e), MemOrder::kAcqRel,
+                                           MemOrder::kAcquire)) {
+          if (cur == kNoEntry) return;
+          e = unpack_entry(cur); // displaced a larger entry; keep placing it
+          continue;
+        }
+        sh.mon->note_cas_fail();
+        bo.spin();
+        continue;
+      }
+      if (sh.backend->insert(e.prio, e.item)) return;
+      bo.spin(); // refusal is transient (alloc injection); never drop e
+    }
+  }
+
+  /// Posts an operation into this processor's combining slot and waits for
+  /// a combiner (possibly itself) to apply it. Returns the resp word:
+  /// accepted (1/0) for kReqInsert, popped word or kNoEntry for kReqDelete.
+  u64 delegate_op(Shard& sh, u32 op, u64 arg) {
+    ReqSlot& slot = *sh.slots[P::self() % maxprocs_];
+    slot.arg.store_relaxed(arg);
+    slot.state.store_release(op);
+    Backoff<P> bo;
+    for (;;) {
+      if (slot.state.load_acquire() == kReqDone) break;
+      if (sh.server->try_acquire()) {
+        combine(sh);
+        sh.server->release();
+        continue;
+      }
+      bo.spin(); // current combiner will serve us, or the lock frees
+    }
+    const u64 resp = slot.resp.load_relaxed(); // ordered by the kReqDone acquire
+    slot.state.store_release(kReqIdle);
+    return resp;
+  }
+
+  /// Serves every posted slot. Caller holds sh.server. Claiming is an
+  /// acq_rel CAS so a combiner that read a stale posted state can never
+  /// re-execute a request a newer combiner already served.
+  void combine(Shard& sh) {
+    for (u32 p = 0; p < maxprocs_; ++p) {
+      ReqSlot& slot = *sh.slots[p];
+      u32 st = slot.state.load_acquire();
+      if (st != kReqInsert && st != kReqDelete) continue;
+      const u32 op = st;
+      if (!slot.state.compare_exchange(st, kReqClaimed, MemOrder::kAcqRel, MemOrder::kAcquire))
+        continue;
+      const u64 arg = slot.arg.load_relaxed();
+      u64 resp;
+      if (op == kReqInsert)
+        resp = direct_insert(sh, unpack_entry(arg)) ? 1 : 0;
+      else
+        resp = direct_pop(sh);
+      slot.resp.store_relaxed(resp);
+      slot.state.store_release(kReqDone);
+    }
+  }
+
+  PqParams params_;
+  u32 maxprocs_;
+  u32 k_;
+  u32 c_;
+  ShardPolicyKind policy_;
+  std::unique_ptr<Padded<Shard>[]> shards_;
+};
+
+} // namespace fpq

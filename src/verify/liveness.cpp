@@ -78,6 +78,15 @@ LivenessResult run_liveness(const LivenessSpec& spec) {
                   .bin_capacity = 1u << 13};
   params.seed = spec.seed;
   params.reclaim_policy = spec.reclaim;
+  if (spec.algo == Algorithm::kSharded) {
+    // The composite's declared kBlocking guarantee comes from exactly one
+    // window: a client spinning behind a crashed combiner that holds a
+    // shard's server lock (pq/sharded_pq.hpp delegation protocol). The
+    // default adaptive policy starts every shard in direct mode — lock-free
+    // paths only — so classification must pin the delegation configuration;
+    // one shard funnels every survivor onto the victim's lock.
+    params.shard = ShardConfig{1, 0, ShardPolicyKind::kDelegate};
+  }
   auto pq = make_priority_queue<SimPlatform>(spec.algo, params, FunnelOptions{});
 
   sim::Engine eng(spec.nprocs, sim::MachineParams{}, spec.seed);

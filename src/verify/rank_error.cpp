@@ -1,0 +1,94 @@
+#include "verify/rank_error.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/entry.hpp"
+
+namespace fpq {
+namespace {
+
+/// Fenwick tree over priorities: point add, prefix count of entries with
+/// priority strictly below a bound. Sized to the largest priority seen, so
+/// the cost tracks the history's actual range, not the packable maximum.
+class PrioCounts {
+ public:
+  explicit PrioCounts(u32 nprio) : tree_(static_cast<size_t>(nprio) + 1, 0) {}
+
+  void add(Prio p, i64 d) {
+    for (u32 i = p + 1; i < tree_.size(); i += i & (~i + 1)) tree_[i] += d;
+  }
+
+  /// Number of present entries with priority < p.
+  u64 below(Prio p) const {
+    i64 n = 0;
+    for (u32 i = p; i > 0; i -= i & (~i + 1)) n += tree_[i];
+    return n < 0 ? 0 : static_cast<u64>(n);
+  }
+
+ private:
+  std::vector<i64> tree_;
+};
+
+} // namespace
+
+RankErrorReport compute_rank_error(const History& h) {
+  RankErrorReport rep;
+  u32 nprio = 1;
+  // Prescan: per packed-entry insert counts (for borrowing) + prio range.
+  std::unordered_map<u64, u64> future;
+  for (const OpRecord& op : h) {
+    if (op.kind == OpRecord::Kind::kInsert) ++future[pack_entry(op.entry)];
+    if (op.result_present && op.entry.prio >= nprio) nprio = op.entry.prio + 1;
+  }
+
+  PrioCounts counts(nprio);
+  std::unordered_map<u64, u64> present;  // packed entry -> live count
+  std::unordered_map<u64, u64> borrowed; // consumed ahead of their insert
+  std::vector<u64> errors;
+
+  for (const OpRecord& op : h) {
+    const u64 w = op.result_present ? pack_entry(op.entry) : 0;
+    if (op.kind == OpRecord::Kind::kInsert) {
+      --future[w];
+      if (auto it = borrowed.find(w); it != borrowed.end() && it->second > 0) {
+        --it->second; // an overlapping delete already took this entry
+      } else {
+        ++present[w];
+        counts.add(op.entry.prio, 1);
+      }
+      continue;
+    }
+    if (!op.result_present) {
+      ++rep.empties;
+      continue;
+    }
+    if (auto it = present.find(w); it != present.end() && it->second > 0) {
+      --it->second;
+      counts.add(op.entry.prio, -1);
+    } else if (future[w] > borrowed[w]) {
+      ++borrowed[w]; // insert invoked later but overlapped this delete
+    } else {
+      ++rep.unmatched;
+      continue;
+    }
+    errors.push_back(counts.below(op.entry.prio));
+  }
+
+  rep.deletes = errors.size();
+  if (rep.deletes == 0) return rep;
+  u64 sum = 0;
+  for (u64 e : errors) {
+    sum += e;
+    if (e > 0) ++rep.nonzero;
+    if (e > rep.max) rep.max = e;
+  }
+  rep.mean = static_cast<double>(sum) / static_cast<double>(rep.deletes);
+  std::sort(errors.begin(), errors.end());
+  const size_t idx = (errors.size() * 99 + 99) / 100; // ceil(0.99 n)
+  rep.p99 = static_cast<double>(errors[std::min(idx, errors.size()) - 1]);
+  return rep;
+}
+
+} // namespace fpq

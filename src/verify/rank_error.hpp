@@ -1,0 +1,49 @@
+// Rank-error quality metric for relaxed priority queues (ISSUE/ROADMAP
+// item 3: the sharded c-of-k composite deliberately trades strict
+// delete-min precision for scalability, so "how wrong" needs a number).
+//
+// The analyzer replays a merged operation history (verify/history.hpp, in
+// invocation order) against a model multiset. Each successful delete-min
+// is scored with its *rank error*: how many entries of strictly smaller
+// priority were present in the model at that point — 0 means the delete
+// returned a true minimum, r means r better entries were skipped. The
+// report aggregates the per-op distribution (mean / p99 / max / nonzero
+// count), which is the contract the tests pin down: exactly 0 everywhere
+// when the composite samples every shard (c == K), bounded nonzero when
+// c < K.
+//
+// Concurrency is handled the same way the quiescent checkers do: the
+// replay order is invocation order, and a delete may legally return an
+// entry whose insert *invoked* later but overlapped it. Such an entry is
+// "borrowed" against the insert's future occurrence (the later insert
+// replay then cancels the borrow instead of materializing the entry). A
+// deleted entry with no matching insert anywhere in the history is
+// reported as `unmatched` — that is a conservation bug, not relaxation,
+// and the callers treat it as a failure in its own right.
+#pragma once
+
+#include "common/types.hpp"
+#include "verify/history.hpp"
+
+namespace fpq {
+
+/// Distribution of per-delete-min rank errors over one history.
+struct RankErrorReport {
+  u64 deletes = 0;   // successful delete-mins scored
+  u64 empties = 0;   // delete-mins that returned empty
+  u64 unmatched = 0; // deleted entries matching no insert (conservation bug)
+  u64 nonzero = 0;   // scored deletes with rank error > 0
+  u64 max = 0;
+  double mean = 0.0;
+  double p99 = 0.0;
+
+  /// True when every delete returned a true minimum and every deleted
+  /// entry was accounted for — what c == K (and every non-relaxed queue)
+  /// must produce on a quiescent history.
+  bool exact() const { return nonzero == 0 && unmatched == 0; }
+};
+
+/// Replays `h` (merged, invocation-sorted) and scores every delete-min.
+RankErrorReport compute_rank_error(const History& h);
+
+} // namespace fpq

@@ -69,6 +69,13 @@ struct StressSpec {
   /// queues — exchange (paper) or aggregate (Roh et al. '24); ignored by
   /// the rest.
   FunnelProtocol funnel = FunnelProtocol::kExchange;
+  /// Sharded-composite knobs (PqParams::shard), ignored by every other
+  /// algorithm. Serialized as `shards= c= mode=` — but only for kSharded
+  /// specs, so pre-existing replay lines stay byte-identical. shards=0 is
+  /// auto (shard_policy.hpp); sample_c=0 samples every shard (exact mode).
+  u32 shards = 0;
+  u32 sample_c = 0;
+  ShardPolicyKind shard_mode = ShardPolicyKind::kAdaptive;
   /// Gate the exhaustive linearizability checker (keep histories small:
   /// nprocs * ops_per_proc + drain must stay around 20 ops).
   bool check_lin = false;
@@ -107,6 +114,7 @@ struct StressFailure {
   StressSpec spec;
   std::string kind; // conservation | quiescent | drain-order | linearizability
                     // | capacity | race | lock-order | fault-conservation
+                    // | rank-error
   std::string diagnostic;
   /// Recorded op trace: the mixed phase (all procs) then the quiescent
   /// drain (proc 0), in invocation order.
@@ -122,10 +130,20 @@ using QueueFactory =
     std::function<std::unique_ptr<IPriorityQueue<SimPlatform>>(const PqParams&)>;
 
 /// Which checks to apply; run_scenario derives this from the algorithm
-/// (SkipList's stale delete-bin is exempt from the rank bound by design).
+/// (SkipList's stale delete-bin is exempt from the rank bound by design;
+/// the sharded composite trades the rank bound for the rank-error metric,
+/// and its solo drain is sorted only when the sample covers every shard).
 struct ScenarioChecks {
   bool quiescent_rank = true;
+  bool drain_sorted = true;
   bool linearizability = false;
+  /// Score the history with verify/rank_error.hpp (kSharded). Exactness
+  /// (rank error identically 0) is enforced where it must hold: sequential
+  /// runs with c == K, and any npriorities == 1 history; a concurrent
+  /// c == K run may transiently miss a mid-refill entry, which is the
+  /// quiescent relaxation the composite documents. unmatched entries fail
+  /// unconditionally.
+  bool rank_error = false;
 };
 
 /// Runs one scenario; nullopt when every enabled check passes.
@@ -142,7 +160,7 @@ StressFailure minimize_with(const QueueFactory& make, const StressFailure& f,
                             const ScenarioChecks& checks);
 
 struct StressOptions {
-  std::vector<Algorithm> algorithms;         // empty = all eight
+  std::vector<Algorithm> algorithms;         // empty = all nine
   std::vector<sim::SchedulePolicy> policies; // empty = all three
   u64 seed_base = 1;
   u32 seeds = 32;
@@ -159,6 +177,11 @@ struct StressOptions {
   u32 elim = 0;
   reclaim::Policy reclaim = reclaim::Policy::kHazardPointer;
   FunnelProtocol funnel = FunnelProtocol::kExchange;
+  /// Sharded-composite knobs forwarded into every spec (ignored by the
+  /// other algorithms): shard count, sample width, access-mode policy.
+  u32 shards = 0;
+  u32 sample_c = 0;
+  ShardPolicyKind shard_mode = ShardPolicyKind::kAdaptive;
   /// Forwarded into every spec (StressSpec::race_detect).
   bool race_detect = false;
   /// Fault plan / watchdog budget forwarded into every spec — a sweep over

@@ -58,7 +58,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
-      << "  --algos=A,B,...      algorithms (display names; default: all eight)\n"
+      << "  --algos=A,B,...      algorithms (display names; default: all nine)\n"
       << "  --policies=p,...     smallest-clock | random-preempt | delay-leader\n"
       << "  --seeds=N            seeds per (algorithm, policy) combination (default 32)\n"
       << "  --seed-base=N        first seed (default 1)\n"
@@ -67,6 +67,9 @@ int usage(const char* argv0) {
       << "  --elim=N             PQ-level elimination slots for funnel queues (0=off)\n"
       << "  --reclaim=hp|ebr     memory-reclamation policy for reclaiming queues\n"
       << "  --funnel=exchange|aggregate   funnel collision protocol (DESIGN.md §13)\n"
+      << "  --shards=K           sub-queue count for the Sharded composite (0=auto)\n"
+      << "  --sample-c=N         delete-min sample width; 0 or >=K scans every shard\n"
+      << "  --policy=direct|delegate|adaptive   Sharded access-mode policy\n"
       << "  --race-detect        attach the happens-before race detector and the\n"
       << "                       lock-order checker to every scenario (DESIGN.md §10)\n"
       << "  --faults=PLAN        inject a fault plan into every scenario, e.g.\n"
@@ -133,6 +136,13 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--funnel=", 0) == 0) {
         if (!fpq::funnel_protocol_from_string(val(), opt.funnel))
           throw std::invalid_argument("expected exchange or aggregate");
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        opt.shards = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--sample-c=", 0) == 0) {
+        opt.sample_c = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--policy=", 0) == 0) {
+        if (!fpq::shard_policy_from_string(val(), opt.shard_mode))
+          throw std::invalid_argument("expected direct, delegate or adaptive");
       } else if (arg.rfind("--max-failures=", 0) == 0) {
         opt.max_failures = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--faults=", 0) == 0) {

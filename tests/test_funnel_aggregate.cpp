@@ -34,13 +34,25 @@ FunnelParams agg_params(u32 width = 2, u32 agg_wait = 64) {
   return p;
 }
 
-/// Single slot + a very long open window: with staggered arrivals the
-/// late operation deterministically joins the early representative.
+/// Single slot + a long open-window budget: with a short arrival stagger
+/// the late operation deterministically joins the early representative.
+/// The stagger must beat the adaptive close (agg_idle_limit caps the idle
+/// threshold at 64 beats however large the budget), so litmus joiners
+/// arrive within a few dozen beats — the counter litmuses assert
+/// folded_joins() so a missed window fails loudly instead of silently
+/// degrading into two independent central RMWs.
 FunnelParams litmus_params() {
   FunnelParams p = agg_params(1, 4096);
   p.batch_limit = 4; // room for the litmus batches (stack buffers)
   return p;
 }
+
+/// The litmus joiner's arrival stagger (relax beats, ~4 cycles each): long
+/// enough that the representative has won its slot AND opened its record
+/// (a joiner landing between the claim CAS and open() reads kAggClosed,
+/// help-clears the slot and serves itself), short enough to land inside
+/// the adaptive idle threshold (64 beats for these budgets).
+constexpr u32 kLitmusStagger = 48;
 
 TEST(AggregateCounter, SequentialFai) {
   FunnelCounter<SimPlatform> c(1, agg_params(), Cfg{false, false, 0}, 0);
@@ -92,13 +104,14 @@ TEST(AggregateCounter, LitmusPositionalVerdictsUnderFloorClamp) {
     if (me == 0) {
       inc_succ = c.fai_batch(2);
     } else {
-      for (u32 i = 0; i < 400; ++i) SimPlatform::relax(); // arrive mid-window
+      for (u32 i = 0; i < kLitmusStagger; ++i) SimPlatform::relax(); // mid-window
       dec_succ = c.bfad_batch(0, 3);
     }
   });
   EXPECT_EQ(inc_succ, 2u);
   EXPECT_EQ(dec_succ, 2u); // third decrement found the floor
   EXPECT_EQ(c.read(), 0);
+  EXPECT_GE(c.folded_joins(), 1u); // the joiner really was folded
   ASSERT_NE(eng.race_detector(), nullptr);
   EXPECT_EQ(eng.race_detector()->race_count(), 0u);
 }
@@ -117,13 +130,14 @@ TEST(AggregateCounter, LitmusOppositeSlicesFoldExactly) {
     if (me == 0) {
       dec_ticket = c.bfad(0); // rep: 1 -> 0
     } else {
-      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      for (u32 i = 0; i < kLitmusStagger; ++i) SimPlatform::relax();
       inc_succ = c.fai_batch(2); // joiner: 0 -> 2
     }
   });
   EXPECT_EQ(dec_ticket, 1);
   EXPECT_EQ(inc_succ, 2u);
   EXPECT_EQ(c.read(), 2);
+  EXPECT_GE(c.folded_joins(), 1u); // the joiner really was folded
   ASSERT_NE(eng.race_detector(), nullptr);
   EXPECT_EQ(eng.race_detector()->race_count(), 0u);
 }
@@ -149,7 +163,7 @@ TEST(AggregateStack, LitmusPushAggregateServesJoinedPop) {
       const Item items[2] = {201, 202};
       pushed = s.push_batch(items, 2);
     } else {
-      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      for (u32 i = 0; i < kLitmusStagger; ++i) SimPlatform::relax();
       popped = s.pop_batch(out, 3);
     }
   });
@@ -183,7 +197,7 @@ TEST(AggregateStack, LitmusFullStoreRefusesPushButServesJoinedPop) {
       const Item items[2] = {201, 202};
       pushed = s.push_batch(items, 2);
     } else {
-      for (u32 i = 0; i < 400; ++i) SimPlatform::relax();
+      for (u32 i = 0; i < kLitmusStagger; ++i) SimPlatform::relax();
       popped = s.pop_batch(out, 2);
     }
   });
@@ -194,6 +208,50 @@ TEST(AggregateStack, LitmusFullStoreRefusesPushButServesJoinedPop) {
   EXPECT_EQ(s.size(), 2u);
   ASSERT_NE(eng.race_detector(), nullptr);
   EXPECT_EQ(eng.race_detector()->race_count(), 0u);
+}
+
+// ---- Adaptive window close (FunnelParams::agg_idle_limit): the open
+// window is an *upper bound*. A solo representative closes after the idle
+// threshold instead of burning the whole budget, so low-concurrency
+// latency no longer scales with agg_wait; concurrent joiners keep
+// resetting the idle clock, so the fold is preserved.
+
+TEST(AggregateCounter, AdaptiveCloseBoundsSoloRepresentativeLatency) {
+  auto solo_cycles = [](u32 agg_wait) {
+    FunnelCounter<SimPlatform> c(1, agg_params(1, agg_wait), Cfg{false, false, 0}, 0);
+    sim::Engine eng(1);
+    eng.run([&](ProcId) { EXPECT_EQ(c.fai(), 0); });
+    return eng.proc_stats()[0].clock;
+  };
+  const auto small_budget = solo_cycles(64);
+  const auto huge_budget = solo_cycles(4096);
+  // The 64x budget difference must not linearize into latency: both close
+  // at their idle threshold (8 vs 64 beats — agg_idle_limit clamps), so
+  // the gap is a few dozen relax beats, not ~4000. Slack covers the
+  // threshold difference with a wide margin while staying an order of
+  // magnitude below the budget gap.
+  EXPECT_LT(huge_budget, small_budget + 1024);
+}
+
+TEST(AggregateCounter, AdaptiveCloseStillFoldsConcurrentJoiners) {
+  // 8 processors hammering one slot with a huge window budget: arrivals
+  // land within each other's idle threshold, so aggregates still fold
+  // (the early close must not degrade a busy funnel into solo RMWs) and
+  // the tickets stay a permutation.
+  FunnelCounter<SimPlatform> c(8, agg_params(1, 4096), Cfg{false, false, 0}, 0);
+  std::vector<std::vector<i64>> got(8);
+  sim::Engine eng(8, {}, /*seed=*/29);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < 25; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      got[id].push_back(c.fai());
+    }
+  });
+  std::set<i64> values;
+  for (const auto& v : got) values.insert(v.begin(), v.end());
+  EXPECT_EQ(values.size(), 200u);
+  EXPECT_EQ(c.read(), 200);
+  EXPECT_GE(c.folded_joins(), 1u);
 }
 
 // ---- Concurrent sweeps: same invariants as the exchange-protocol

@@ -123,9 +123,12 @@ TEST_P(QuiescentPhases, EachPhaseSatisfiesAppendixB) {
     for (const auto& v : ins) inserted.insert(inserted.end(), v.begin(), v.end());
     for (const auto& v : del) deleted.insert(deleted.end(), v.begin(), v.end());
 
-    if (algo != Algorithm::kSkipList) {
+    if (algo != Algorithm::kSkipList && algo != Algorithm::kSharded) {
       // SkipList's stale delete bin can exceed the Appendix-B priority
       // bound by design (see skiplist_pq.hpp); conservation still holds.
+      // Sharded relaxes delete-min by construction (c-of-k sampling plus
+      // the concurrent stash/backend perturbation, sharded_pq.hpp) — its
+      // quality is measured as rank error, not the Appendix-B bound.
       const auto r = check_quiescent_phase(content, inserted, deleted);
       EXPECT_TRUE(r.ok) << "phase " << phase << ": " << r.diagnostic;
     }

@@ -251,7 +251,7 @@ TEST(Registry, NamesRoundTrip) {
     EXPECT_EQ(algorithm_from_string(to_string(a)), a);
   }
   EXPECT_THROW(algorithm_from_string("NoSuchQueue"), std::invalid_argument);
-  EXPECT_EQ(all_algorithms().size(), 8u);
+  EXPECT_EQ(all_algorithms().size(), 9u);
   EXPECT_EQ(scalable_algorithms().size(), 4u);
 }
 

@@ -1,0 +1,315 @@
+// Tests of the sharded relaxed "PQ of PQs" composite (pq/sharded_pq.hpp,
+// pq/shard_policy.hpp) and its rank-error quality metric
+// (verify/rank_error.hpp): metric unit tests (including overlap borrowing
+// and conservation bugs), policy/config plumbing, the adaptive monitor's
+// hysteresis, exactness where the design promises it (sequential c == K,
+// same-key histories), bounded relaxation when c < K, and the stress
+// harness's replay-spec round trip for the sharded knobs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "platform/sim.hpp"
+#include "pq/shard_policy.hpp"
+#include "verify/history.hpp"
+#include "verify/model_pq.hpp"
+#include "verify/quiescent.hpp"
+#include "verify/rank_error.hpp"
+#include "verify/stress.hpp"
+
+namespace fpq {
+namespace {
+
+// ---- Rank-error metric unit tests (synthetic histories).
+
+OpRecord ins(Cycles t, Prio p, Item v) {
+  return OpRecord::insert_op(0, t, t + 1, Entry{p, v});
+}
+OpRecord del(Cycles t, Prio p, Item v) {
+  return OpRecord::delete_op(0, t, t + 1, Entry{p, v});
+}
+OpRecord del_empty(Cycles t) { return OpRecord::delete_op(0, t, t + 1, std::nullopt); }
+
+TEST(RankError, ExactHistoryScoresAllZero) {
+  const History h{ins(1, 5, 10), ins(2, 3, 11), del(3, 3, 11), del(4, 5, 10),
+                  del_empty(5)};
+  const auto r = compute_rank_error(h);
+  EXPECT_EQ(r.deletes, 2u);
+  EXPECT_EQ(r.empties, 1u);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_EQ(r.nonzero, 0u);
+  EXPECT_EQ(r.max, 0u);
+  EXPECT_EQ(r.mean, 0.0);
+  EXPECT_EQ(r.p99, 0.0);
+  EXPECT_TRUE(r.exact());
+}
+
+TEST(RankError, SkippedMinimaAreCounted) {
+  // Delete the worst of three while two strictly better entries sit in the
+  // model: rank error 2 for that op, 0 for the exact tail.
+  const History h{ins(1, 1, 1), ins(2, 2, 2), ins(3, 3, 3),
+                  del(4, 3, 3), del(5, 1, 1), del(6, 2, 2)};
+  const auto r = compute_rank_error(h);
+  EXPECT_EQ(r.deletes, 3u);
+  EXPECT_EQ(r.nonzero, 1u);
+  EXPECT_EQ(r.max, 2u);
+  EXPECT_DOUBLE_EQ(r.mean, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(r.p99, 2.0); // n=3: p99 is the max
+  EXPECT_FALSE(r.exact());
+}
+
+TEST(RankError, OverlappingDeleteBorrowsAgainstLaterInsert) {
+  // The delete is *invoked* before the insert that produced its entry —
+  // legal under concurrency (the ops overlapped). The replay borrows the
+  // entry from the future insert instead of reporting a conservation bug.
+  const History h{del(1, 4, 7), ins(2, 4, 7)};
+  const auto r = compute_rank_error(h);
+  EXPECT_EQ(r.deletes, 1u);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_TRUE(r.exact());
+}
+
+TEST(RankError, NeverInsertedEntryIsUnmatched) {
+  const History h{ins(1, 2, 1), del(2, 2, 1), del(3, 6, 99)};
+  const auto r = compute_rank_error(h);
+  EXPECT_EQ(r.unmatched, 1u);
+  EXPECT_FALSE(r.exact());
+}
+
+// ---- Policy and placement plumbing.
+
+TEST(ShardPolicy, NamesRoundTrip) {
+  for (ShardPolicyKind k : {ShardPolicyKind::kDirect, ShardPolicyKind::kDelegate,
+                            ShardPolicyKind::kAdaptive}) {
+    ShardPolicyKind back = ShardPolicyKind::kAdaptive;
+    ASSERT_TRUE(shard_policy_from_string(to_string(k), back)) << to_string(k);
+    EXPECT_EQ(back, k);
+  }
+  ShardPolicyKind out = ShardPolicyKind::kDirect;
+  EXPECT_FALSE(shard_policy_from_string("bogus", out));
+  EXPECT_EQ(out, ShardPolicyKind::kDirect); // untouched on failure
+}
+
+TEST(ShardPolicy, EffectiveShardsAndSample) {
+  ShardConfig auto_cfg; // shards=0, sample_c=0
+  EXPECT_EQ(auto_cfg.effective_shards(1), 1u);
+  EXPECT_EQ(auto_cfg.effective_shards(4), 2u);
+  EXPECT_EQ(auto_cfg.effective_shards(16), 8u);
+  EXPECT_EQ(auto_cfg.effective_shards(256), 8u); // auto clamps at 8
+  ShardConfig fixed{.shards = 5, .sample_c = 2};
+  EXPECT_EQ(fixed.effective_shards(64), 5u);
+  EXPECT_EQ(fixed.effective_sample(5), 2u);
+  EXPECT_EQ(auto_cfg.effective_sample(8), 8u);   // 0 = all
+  ShardConfig wide{.shards = 4, .sample_c = 99}; // oversized = all
+  EXPECT_EQ(wide.effective_sample(4), 4u);
+}
+
+TEST(ShardPolicy, HomeShardPartitionsContiguousBlocks) {
+  const u32 maxprocs = 16, nshards = 4;
+  u32 prev = 0;
+  std::set<u32> seen;
+  for (ProcId p = 0; p < maxprocs; ++p) {
+    const u32 s = home_shard(p, maxprocs, nshards);
+    ASSERT_LT(s, nshards);
+    ASSERT_GE(s, prev) << "blocks must be contiguous in proc id";
+    prev = s;
+    seen.insert(s);
+  }
+  EXPECT_EQ(seen.size(), nshards); // every shard gets a home block
+  // Block sizes are balanced: 16/4 = 4 procs each.
+  EXPECT_EQ(home_shard(3, maxprocs, nshards), 0u);
+  EXPECT_EQ(home_shard(4, maxprocs, nshards), 1u);
+}
+
+TEST(ShardMonitor, AdaptiveHysteresisSwitchesBothWays) {
+  using Mon = ShardMonitor<SimPlatform>;
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    Mon m;
+    EXPECT_FALSE(m.delegated());
+    m.note_size(8); // occupied: delegation is worth considering
+    // Saturated CAS-failure windows push the contention EWMA over kHi.
+    for (u32 w = 0; w < 8 && !m.delegated(); ++w) {
+      for (u32 i = 0; i < Mon::kWindowOps; ++i) {
+        m.note_cas_fail();
+        m.note_op(ShardPolicyKind::kAdaptive);
+      }
+    }
+    EXPECT_TRUE(m.delegated());
+    // Calm windows decay it back under kLo: mode returns to direct.
+    for (u32 w = 0; w < 16 && m.delegated(); ++w)
+      for (u32 i = 0; i < Mon::kWindowOps; ++i)
+        m.note_op(ShardPolicyKind::kAdaptive);
+    EXPECT_FALSE(m.delegated());
+  });
+}
+
+TEST(ShardMonitor, PinnedPoliciesNeverSwitch) {
+  using Mon = ShardMonitor<SimPlatform>;
+  sim::Engine eng(1);
+  eng.run([&](ProcId) {
+    Mon m;
+    m.note_size(8);
+    for (u32 w = 0; w < 8; ++w) {
+      for (u32 i = 0; i < Mon::kWindowOps; ++i) {
+        m.note_cas_fail();
+        m.note_op(ShardPolicyKind::kDirect); // contention, but policy pinned
+      }
+    }
+    EXPECT_FALSE(m.delegated());
+  });
+}
+
+// ---- Composite behavior through the registry.
+
+std::unique_ptr<IPriorityQueue<SimPlatform>> make_sharded(u32 npriorities,
+                                                          u32 maxprocs, u32 shards,
+                                                          u32 sample_c,
+                                                          ShardPolicyKind policy,
+                                                          u64 seed = 7) {
+  PqParams params{.npriorities = npriorities, .maxprocs = maxprocs,
+                  .bin_capacity = 1u << 12};
+  params.seed = seed;
+  params.shard = ShardConfig{shards, sample_c, policy};
+  return make_priority_queue<SimPlatform>(Algorithm::kSharded, params);
+}
+
+TEST(ShardedPq, SequentialExactWhenSamplingEveryShard) {
+  // c == K and one processor: the composite must match the reference model
+  // operation-for-operation — relaxation only enters via sampling (c < K)
+  // or concurrent stash/backend perturbation, neither present here.
+  auto pq = make_sharded(32, 1, 4, 0, ShardPolicyKind::kDirect);
+  ModelPq model;
+  sim::Engine eng(1, {}, 7);
+  eng.run([&](ProcId) {
+    Xorshift rng(7);
+    for (u32 step = 0; step < 400; ++step) {
+      if (rng.below(100) < 55) {
+        const Prio p = static_cast<Prio>(rng.below(32));
+        ASSERT_TRUE(pq->insert(p, 1000 + step));
+        model.insert(p, 1000 + step);
+      } else {
+        const auto got = pq->delete_min();
+        ASSERT_EQ(got.has_value(), model.min_priority().has_value()) << step;
+        if (got) {
+          EXPECT_EQ(got->prio, *model.min_priority()) << step;
+          ASSERT_TRUE(model.remove(got->prio, got->item)) << step;
+        }
+      }
+    }
+    std::vector<Entry> drained;
+    while (auto e = pq->delete_min()) drained.push_back(*e);
+    const auto r = check_drain_sorted(drained);
+    EXPECT_TRUE(r.ok) << r.diagnostic;
+    while (auto e = model.delete_min()) ASSERT_FALSE(drained.empty());
+  });
+}
+
+/// Concurrent mixed phase + solo drain, recording the merged history.
+History run_recorded(IPriorityQueue<SimPlatform>& pq, u32 nprocs, u32 npriorities,
+                     u32 ops_per_proc, u64 seed) {
+  HistoryRecorder rec(nprocs);
+  sim::Engine eng(nprocs, {}, seed);
+  eng.run([&](ProcId id) {
+    for (u32 i = 0; i < ops_per_proc; ++i) {
+      SimPlatform::delay(SimPlatform::rnd(64));
+      if (SimPlatform::rnd(100) < 60) {
+        const Entry e{static_cast<Prio>(SimPlatform::rnd(npriorities)),
+                      (static_cast<u64>(id) << 16) | i};
+        if (pq.insert(e.prio, e.item))
+          rec.record(OpRecord::insert_op(id, SimPlatform::now(), SimPlatform::now(), e));
+      } else {
+        const Cycles t0 = SimPlatform::now();
+        const auto e = pq.delete_min();
+        rec.record(OpRecord::delete_op(id, t0, SimPlatform::now(), e));
+      }
+    }
+  });
+  eng.run([&](ProcId id) {
+    if (id != 0) return;
+    for (;;) {
+      const Cycles t0 = SimPlatform::now();
+      const auto e = pq.delete_min();
+      if (!e) break;
+      rec.record(OpRecord::delete_op(0, t0, SimPlatform::now(), e));
+    }
+  });
+  return rec.merged();
+}
+
+TEST(ShardedPq, SameKeyHistoryIsExactWhenSamplingEveryShard) {
+  // The dedicated npriorities == 1 sweep: every entry shares the key, so a
+  // rank error would require fabricating a strictly smaller priority —
+  // with c == K the metric must come back exactly zero, and conservation
+  // must hold (unmatched == 0).
+  auto pq = make_sharded(1, 4, 4, 0, ShardPolicyKind::kAdaptive, 11);
+  const History h = run_recorded(*pq, 4, 1, 40, 11);
+  const auto r = compute_rank_error(h);
+  EXPECT_GT(r.deletes, 0u);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_EQ(r.nonzero, 0u);
+  EXPECT_TRUE(r.exact());
+}
+
+TEST(ShardedPq, NarrowSampleIsBoundedRelaxationNotLoss) {
+  // c = 1 of 4 shards, four processors inserting to distinct home shards:
+  // delete-min may legally skip better entries (nonzero rank error), but
+  // every entry is still conserved (unmatched == 0) and the error is
+  // bounded by the live population, never fabricated.
+  auto pq = make_sharded(64, 4, 4, 1, ShardPolicyKind::kDirect, 13);
+  const History h = run_recorded(*pq, 4, 64, 60, 13);
+  u64 inserts = 0;
+  for (const auto& op : h)
+    if (op.kind == OpRecord::Kind::kInsert) ++inserts;
+  const auto r = compute_rank_error(h);
+  EXPECT_GT(r.deletes, 0u);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_LE(r.max, inserts); // bounded by what was ever live
+  EXPECT_LE(r.p99, static_cast<double>(r.max));
+}
+
+TEST(ShardedPq, DelegationModeDrainsEverything) {
+  // Forced delegation: every op goes through the combining slots + server
+  // lock; conservation and same-key exactness must be unaffected.
+  auto pq = make_sharded(1, 8, 4, 0, ShardPolicyKind::kDelegate, 17);
+  const History h = run_recorded(*pq, 8, 1, 25, 17);
+  const auto r = compute_rank_error(h);
+  EXPECT_GT(r.deletes, 0u);
+  EXPECT_EQ(r.unmatched, 0u);
+  EXPECT_TRUE(r.exact());
+}
+
+// ---- Replay-spec round trip for the sharded knobs.
+
+TEST(ShardedSpec, ReplayLineRoundTripsByteIdentical) {
+  verify::StressSpec s;
+  s.algo = Algorithm::kSharded;
+  s.seed = 42;
+  s.nprocs = 8;
+  s.shards = 8;
+  s.sample_c = 2;
+  s.shard_mode = ShardPolicyKind::kDelegate;
+  const std::string line = to_line(s);
+  EXPECT_NE(line.find("shards=8"), std::string::npos) << line;
+  EXPECT_NE(line.find(" c=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("mode=delegate"), std::string::npos) << line;
+  const verify::StressSpec back = verify::spec_from_line(line);
+  EXPECT_EQ(to_line(back), line); // byte-identical round trip
+  EXPECT_EQ(back.shards, 8u);
+  EXPECT_EQ(back.sample_c, 2u);
+  EXPECT_EQ(back.shard_mode, ShardPolicyKind::kDelegate);
+}
+
+TEST(ShardedSpec, NonShardedLinesOmitShardKeys) {
+  verify::StressSpec s; // kSingleLock default
+  const std::string line = to_line(s);
+  EXPECT_EQ(line.find("shards="), std::string::npos) << line;
+  EXPECT_EQ(line.find("mode="), std::string::npos) << line;
+  EXPECT_EQ(to_line(verify::spec_from_line(line)), line);
+}
+
+} // namespace
+} // namespace fpq

@@ -22,6 +22,17 @@ are cheap to catch at review time:
                    Deliberately-contiguous arrays (lock-serialized data,
                    bulk-transfer buffers) carry a waiver.
 
+  unpadded-shard   a contiguous container of per-shard descriptor structs
+                   (element type named `Shard`/`*Shard*`) without the
+                   `Padded<>` wrapper. A shard descriptor bundles that
+                   shard's hot words (stash, monitor EWMAs, server lock,
+                   request slots); packing descriptors back-to-back makes
+                   every neighbour pair false-share, which silently undoes
+                   the whole point of sharding (DESIGN.md §14). Plain
+                   value types (`ShardConfig`, `ShardStats`,
+                   `ShardPolicyKind`) are copied snapshots, not contended
+                   state, and are not flagged.
+
   naked-reclaim    a `delete` / `delete[]` / `free()` expression outside
                    src/reclaim/. Nodes that were ever reachable through a
                    `Shared` pointer must die via `reclaim::Guard::retire`
@@ -96,6 +107,14 @@ DEFAULT_RMW_RE = re.compile(r"\.(compare_exchange|fetch_add|fetch_sub|exchange)\
 UNPADDED_SHARED_RE = re.compile(
     r"(?:vector|array)<[^;]*\bShared<|\bShared<[^<>;]*>\s*\[\s*\]"
 )
+# A contiguous container of per-shard descriptors: vector/array element or
+# C-style/unique_ptr array whose type name contains `Shard`. Padded<> on
+# the line waives it (checked separately); value-snapshot types are
+# allowlisted below.
+UNPADDED_SHARD_RE = re.compile(
+    r"(?:vector|array)<[^;]*?\b(\w*Shard\w*)\b|\b(\w*Shard\w*)(?:<[^<>;]*>)?\s*\[\s*\]?"
+)
+SHARD_VALUE_TYPES = {"ShardConfig", "ShardStats", "ShardPolicyKind", "kMaxShards"}
 # A delete-expression (`delete p`, `delete[] p`) or a C free call. The
 # negative lookbehind skips deleted-function declarations (`= delete;`,
 # `= delete ;`), which end the statement rather than name an operand.
@@ -220,6 +239,15 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
             finding(idx, "unpadded-shared",
                     "contiguous Shared<> container without Padded<> "
                     "(false-sharing audit, DESIGN.md §8.4)")
+        if "Padded<" not in code:
+            m = UNPADDED_SHARD_RE.search(code)
+            if m:
+                name = m.group(1) or m.group(2)
+                if name not in SHARD_VALUE_TYPES:
+                    finding(idx, "unpadded-shard",
+                            f"contiguous array of per-shard descriptor `{name}` "
+                            "without Padded<> — neighbouring shards false-share "
+                            "(DESIGN.md §14)")
         if naked_reclaim_scanned and (NAKED_DELETE_RE.search(code)
                                       or NAKED_FREE_RE.search(code)):
             finding(idx, "naked-reclaim",
@@ -291,6 +319,19 @@ SELF_TEST_CASES = [
      "// waived below\n"
      "std::vector<typename P::template Shared<u64>> v_; "
      "// contract-lint: allow(unpadded-shared) lock-serialized"),
+    # Per-shard descriptor arrays must be Padded (DESIGN.md §14).
+    ("unpadded-shard", "src/pq/x.hpp", "std::vector<Shard> shards_;"),
+    ("unpadded-shard", "src/pq/x.hpp",
+     "std::array<ShardMonitor<P>, kMax> monitors_;"),
+    ("unpadded-shard", "src/pq/x.hpp", "std::unique_ptr<Shard[]> shards_;"),
+    (None, "src/pq/x.hpp", "std::vector<Padded<Shard>> shards_;"),
+    (None, "src/pq/x.hpp", "std::unique_ptr<Padded<Shard>[]> shards_;"),
+    (None, "src/pq/x.hpp", "std::vector<ShardStats> stats() const;"),
+    (None, "src/pq/x.hpp", "ShardConfig shard = {};"),
+    (None, "src/pq/x.hpp", "std::array<u32, kMaxShards> widths_;"),
+    (None, "src/pq/x.hpp",
+     "std::vector<Shard> shards_; "
+     "// contract-lint: allow(unpadded-shard) single-threaded test fixture"),
     ("naked-reclaim", "src/pq/x.hpp", "delete cur;"),
     ("naked-reclaim", "src/pq/x.hpp", "delete[] slots;"),
     ("naked-reclaim", "src/pq/x.hpp", "delete static_cast<Node*>(p);"),
