@@ -97,13 +97,26 @@ class ReactiveCounter {
   // MCS lock or by this handshake, so its accesses are relaxed.
   i64 apply(i64 delta) {
     for (;;) {
-      const u32 m = mode_.load_acquire();
-      if (m == kTransition) {
-        P::pause();
-        continue;
-      }
+      // Wait out a transition through the platform's parking wait rather
+      // than a naked pause-spin: identical semantics (re-read until the
+      // switcher publishes), but the simulator can park the waiter — and
+      // the model checker (DESIGN.md §15) then sees one wake-up instead of
+      // an unbounded run of schedulable re-reads.
+      const u32 m =
+          P::spin_until(mode_, [](u32 v) { return v != kTransition; });
+#ifdef FPQ_SEEDED_BUG_REACTIVE_SB
+      // Seeded-bug corpus (negative control, tests/test_dpor_corpus.cpp):
+      // the PR 3 store-buffering race reintroduced. A relaxed announce and
+      // recheck can both pass before the switcher's mode CAS becomes
+      // visible here, while the switcher's deciding probe of active_[m]
+      // misses the announce — both sides proceed, and the op mutates the
+      // representation the switcher is transferring from.
+      active_[m].fetch_add(1, MemOrder::kRelaxed);
+      if (mode_.load_relaxed() != m) {
+#else
       active_[m].fetch_add(1); // seq_cst announce (see contract above)
       if (mode_.load() != m) { // seq_cst recheck
+#endif
         active_[m].fetch_sub(1, MemOrder::kRelease);
         continue;
       }

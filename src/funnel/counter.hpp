@@ -424,11 +424,21 @@ class FunnelCounter {
       if (central_.compare_exchange(val, nv, MemOrder::kAcqRel, MemOrder::kRelaxed)) {
         i64 v = after_slice(val, my.local_sum);
         for (Rec* c : my.children) {
+#ifdef FPQ_SEEDED_BUG_AGG_VERDICT
+          // Seeded-bug corpus (negative control, tests/test_dpor_corpus.cpp):
+          // the PR 8 read-after-release bug reintroduced. Reading the slice
+          // after publishing the verdict races with the freed child reusing
+          // its record for the next operation and rewriting sum.
+          c->result_value.store_relaxed(v);
+          c->result_state.store_release(kStCount);
+          const i64 csum = c->sum.load_relaxed();
+#else
           // Read the slice BEFORE releasing the verdict: the release frees
           // the child to start its next operation and rewrite its sum.
           const i64 csum = c->sum.load_relaxed();
           c->result_value.store_relaxed(v);
           c->result_state.store_release(kStCount); // publishes the verdict
+#endif
           v = after_slice(v, csum);
         }
         return {ticket_for(my, val), my.own_elim + own_successes(my, val)};

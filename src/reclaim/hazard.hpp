@@ -58,6 +58,22 @@ class HazardDomain {
   /// the validated word, tag bits included.
   u64 protect(ProcId self, u32 slot, const Shared<u64>& src) {
     Shared<u64>& h = slot_ref(self, slot);
+#ifdef FPQ_SEEDED_BUG_HP_RELAXED
+    // Seeded-bug corpus (negative control, tests/test_dpor_corpus.cpp):
+    // the PR 6 under-annotation reintroduced. A relaxed publish can stay
+    // invisible to a concurrent scan() while the relaxed validate still
+    // sees the pre-retirement pointer — the scan misses the hazard and
+    // frees a node this processor believes is protected.
+    u64 w = src.load_relaxed();
+    // contract-lint: allow(naked-spin) lock-free retry: a failed validate
+    // means the source word changed (a writer progressed).
+    for (;;) {
+      h.store_relaxed(w & ~tag_mask_);
+      const u64 w2 = src.load_relaxed();
+      if (w2 == w) return w;
+      w = w2;
+    }
+#else
     u64 w = src.load(); // seq_cst: store-buffering handshake with scan()
     // contract-lint: allow(naked-spin) lock-free retry: a failed validate
     // means the source word changed (a writer progressed).
@@ -67,6 +83,7 @@ class HazardDomain {
       if (w2 == w) return w;
       w = w2;
     }
+#endif
   }
 
   /// Promote: publish a word whose pointer is already protected (by

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "sim/explore.hpp"
+
 namespace fpq::sim {
 
 namespace {
@@ -32,7 +34,10 @@ Cycles Engine::now() const {
 
 Xorshift& Engine::rng() { return procs_[self()].rng; }
 
-void Engine::schedule(ProcId p) { runq_.emplace(procs_[p].clock, seq_++, p); }
+void Engine::schedule(ProcId p) {
+  if (explorer_ != nullptr) return; // the explorer's run loop scans enabledness
+  runq_.emplace(procs_[p].clock, seq_++, p);
+}
 
 void Engine::yield_running() {
   FPQ_ASSERT(running_ != kNoProc);
@@ -60,6 +65,7 @@ bool Engine::perturb(ProcId pid) {
       break;
     }
     case SchedulePolicy::kSmallestClock: return false; // unreachable
+    case SchedulePolicy::kExhaustive: return false;    // explorer runs its own loop
   }
   schedule(pid);
   return true;
@@ -71,7 +77,9 @@ void Engine::on_access(const void* addr, AccessKind kind, MemOrder order,
   Proc& p = procs_[running_];
   // Schedule exploration: jitter the issue time of every shared access so
   // arrival order at the modules (and thus RMW winners) is randomized.
-  if (params_.sched.access_jitter > 0) p.clock += sched_rng_.below(params_.sched.access_jitter);
+  // Systematic exploration owns the schedule outright, so jitter is off.
+  if (params_.sched.access_jitter > 0 && explorer_ == nullptr)
+    p.clock += sched_rng_.below(params_.sched.access_jitter);
   AccessResult r = memory_.access(running_, addr, kind, p.clock);
   p.clock = r.completion;
   ++stats_[running_].accesses;
@@ -84,6 +92,13 @@ void Engine::on_access(const void* addr, AccessKind kind, MemOrder order,
     wp.blocked = false;
     wp.clock = std::max(wp.clock, r.completion);
     schedule(w);
+  }
+  if (explorer_ != nullptr) {
+    // Every access is a choice point: report the visible event and yield
+    // unconditionally (hit elision would hide schedule points).
+    explorer_->on_event(running_, memory_.word_key(addr), kind, rmw_applied);
+    yield_running();
+    return;
   }
   // Fault consultation happens on *every* access, hits included — the
   // hit-elision below never runs for a faulted access, so a victim spinning
@@ -128,8 +143,17 @@ void Engine::take_down(ProcOutcome o) {
   FPQ_ASSERT_MSG(false, "a downed fiber was rescheduled");
 }
 
+void Engine::set_explorer(Explorer* ex) {
+  FPQ_ASSERT_MSG(!running_run_, "set_explorer during a run");
+  FPQ_ASSERT_MSG(ex == nullptr || faults_ == nullptr,
+                 "exhaustive exploration is incompatible with fault plans");
+  explorer_ = ex;
+}
+
 void Engine::set_fault_plan(FaultPlan plan) {
   FPQ_ASSERT_MSG(!running_run_, "set_fault_plan during a run");
+  FPQ_ASSERT_MSG(plan.empty() || explorer_ == nullptr,
+                 "fault plans are incompatible with exhaustive exploration");
   if (plan.empty()) {
     faults_.reset();
     outcomes_.clear();
@@ -170,7 +194,11 @@ void Engine::note_lock_release(const void* lock) {
 void Engine::delay(Cycles c) {
   if (g_current != this || running_ == kNoProc) return;
   procs_[running_].clock += c;
-  yield_running();
+  // Under systematic exploration a pure delay is not a visible event: a
+  // yield here would create eventless choice points (state-space blowup
+  // with zero discriminating power). Every spin loop in the codebase
+  // re-reads shared state, so slices stay bounded without it.
+  if (explorer_ == nullptr) yield_running();
 }
 
 void Engine::pause() { delay(params_.t_pause); }
@@ -219,31 +247,64 @@ void Engine::run(const std::function<void(ProcId)>& body) {
     ++live;
   }
   std::exception_ptr first_error;
-  while (!runq_.empty()) {
-    auto [clk, sq, pid] = runq_.top();
-    runq_.pop();
-    Proc& p = procs_[pid];
-    if (p.fiber.done() || p.blocked) continue; // defensively drop stale entries
-    // Every clock change is immediately followed by a fresh queue entry and
-    // blocked processors have no entry, so entries are never stale.
-    FPQ_ASSERT_MSG(clk == p.clock, "scheduler entry out of date");
-    (void)sq;
-    if (perturb(pid)) continue; // policy delayed the fiber; pick again
-    running_ = pid;
-    p.fiber.switch_in(&sched_ctx_);
-    running_ = kNoProc;
-    if (p.fiber.done()) {
-      --live;
-      if (p.fiber.error() && !first_error) first_error = p.fiber.error();
-      stats_[pid].clock = p.clock;
-    } else if (!p.blocked) {
-      schedule(pid);
+  if (explorer_ != nullptr) {
+    // Systematic mode: the explorer dictates every decision. The clock
+    // order is irrelevant (and deliberately violated); what matters is the
+    // exact enabled set at every choice point.
+    std::vector<ProcId> enabled;
+    for (;;) {
+      enabled.clear();
+      for (u32 i = 0; i < n; ++i)
+        if (!procs_[i].fiber.done() && !procs_[i].blocked) enabled.push_back(i);
+      if (enabled.empty()) break;
+      const ProcId pid = explorer_->pick(enabled);
+      FPQ_ASSERT_MSG(pid < n && !procs_[pid].fiber.done() && !procs_[pid].blocked,
+                     "explorer picked a processor that is not enabled");
+      Proc& p = procs_[pid];
+      running_ = pid;
+      p.fiber.switch_in(&sched_ctx_);
+      running_ = kNoProc;
+      if (p.fiber.done()) {
+        --live;
+        if (p.fiber.error() && !first_error) first_error = p.fiber.error();
+        stats_[pid].clock = p.clock;
+      }
+    }
+  } else {
+    while (!runq_.empty()) {
+      auto [clk, sq, pid] = runq_.top();
+      runq_.pop();
+      Proc& p = procs_[pid];
+      if (p.fiber.done() || p.blocked) continue; // defensively drop stale entries
+      // Every clock change is immediately followed by a fresh queue entry
+      // and blocked processors have no entry, so entries are never stale.
+      FPQ_ASSERT_MSG(clk == p.clock, "scheduler entry out of date");
+      (void)sq;
+      if (perturb(pid)) continue; // policy delayed the fiber; pick again
+      running_ = pid;
+      p.fiber.switch_in(&sched_ctx_);
+      running_ = kNoProc;
+      if (p.fiber.done()) {
+        --live;
+        if (p.fiber.error() && !first_error) first_error = p.fiber.error();
+        stats_[pid].clock = p.clock;
+      } else if (!p.blocked) {
+        schedule(pid);
+      }
     }
   }
   running_run_ = false;
   g_current = prev;
 
-  if (live > 0 && !first_error && !faults_) {
+  if (explorer_ != nullptr && live > 0 && !first_error) {
+    // Nothing enabled with fibers still parked: a real deadlock schedule.
+    // Record it as a counterexample instead of aborting — the harness
+    // reports it like any other oracle violation. Stale spin-waiter
+    // registrations must not leak into a subsequent run.
+    explorer_->note_deadlock();
+    memory_.clear_waiters();
+  }
+  if (live > 0 && !first_error && !faults_ && explorer_ == nullptr) {
     std::fprintf(stderr, "funnelpq sim: deadlock — %u processor(s) blocked forever\n",
                  live);
     for (u32 i = 0; i < n; ++i) {

@@ -37,6 +37,8 @@
 
 namespace fpq::sim {
 
+class Explorer;
+
 struct ProcStats {
   Cycles clock = 0; // final local time
   u64 accesses = 0;
@@ -87,6 +89,16 @@ class Engine {
   /// The attached race detector, or nullptr when MachineParams::race_detect
   /// is off. Lives as long as the engine; query after run() returns.
   RaceDetector* race_detector() { return detector_.get(); }
+
+  /// Hands every scheduling decision to a DPOR explorer (sim/explore.hpp):
+  /// the runq/perturbation machinery is bypassed, every Shared access
+  /// yields (hit elision off — each access is a choice point), access
+  /// jitter is ignored, and delay() advances the clock without yielding
+  /// (timing is not a schedule under systematic exploration). Must be
+  /// called between runs; mutually exclusive with fault plans. The
+  /// explorer must outlive every run; pass nullptr to detach.
+  void set_explorer(Explorer* ex);
+  Explorer* explorer() const { return explorer_; }
 
   /// Lock-lifecycle hints from the sync layer (via Platform::note_lock_*);
   /// no-ops unless the race detector is attached and a fiber is running.
@@ -148,6 +160,8 @@ class Engine {
   /// Happens-before race detector (params.race_detect); observes accesses
   /// without perturbing their timing.
   std::unique_ptr<RaceDetector> detector_;
+  /// DPOR schedule explorer (set_explorer); null = normal scheduling.
+  Explorer* explorer_ = nullptr;
   /// Fault-injection decision core (set_fault_plan); null = no plan.
   std::unique_ptr<FaultEngine> faults_;
   /// Per-proc outcome, persistent across runs while a plan is active:

@@ -1,0 +1,327 @@
+#include "sim/explore.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/assert.hpp"
+#include "sim/engine.hpp"
+
+namespace fpq::sim {
+
+namespace {
+
+bool contains(const std::vector<ProcId>& v, ProcId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+void add_unique(std::vector<ProcId>& v, ProcId p) {
+  if (!contains(v, p)) v.push_back(p);
+}
+
+/// Scheduling decisions one processor may take in a row while others are
+/// enabled before the default pick rotates (see Explorer::default_pick).
+constexpr u64 kFairSlice = 64;
+
+} // namespace
+
+std::string to_string(const ExploreStats& s) {
+  std::ostringstream os;
+  os << "executions=" << s.executions << " sleep_pruned=" << s.sleep_pruned
+     << " sleep_redundant=" << s.sleep_blocked << " bound_skipped=" << s.bound_skipped
+     << " steps=" << s.steps << " max_depth=" << s.max_depth;
+  if (s.deadlock) os << " deadlock=1";
+  if (s.complete()) {
+    os << " complete=yes";
+  } else {
+    os << " complete=no(";
+    const char* sep = "";
+    if (s.preempt_bound_hit) {
+      os << sep << "preempt-bound";
+      sep = ",";
+    }
+    if (s.exec_budget_hit) {
+      os << sep << "exec-budget";
+      sep = ",";
+    }
+    if (s.step_budget_hit) os << sep << "step-budget";
+    os << ")";
+  }
+  return os.str();
+}
+
+Explorer::Explorer(u32 nprocs, ExploreParams params)
+    : nprocs_(nprocs), params_(params), clocks_(nprocs, VectorClock(nprocs)) {
+  FPQ_ASSERT_MSG(nprocs >= 1, "explorer needs at least one processor");
+}
+
+void Explorer::begin_execution() {
+  FPQ_ASSERT_MSG(!finished_, "begin_execution after exploration finished");
+  cursor_ = 0;
+  for (auto& c : clocks_) c = VectorClock(nprocs_);
+  words_.clear();
+  live_sleep_.clear();
+  last_pick_ = kNoProc;
+  consecutive_ = 0;
+  steps_this_exec_ = 0;
+  free_running_ = false;
+  sleep_blocked_this_exec_ = false;
+  deadlock_this_exec_ = false;
+}
+
+bool Explorer::sleeping(ProcId p) const {
+  for (const auto& s : live_sleep_)
+    if (s.first == p) return true;
+  return false;
+}
+
+ProcId Explorer::default_pick(const std::vector<ProcId>& enabled, bool avoid_sleep) {
+  // Continuing the previous slice's processor never introduces a
+  // preemption, so it is the cheapest default under a preemption bound and
+  // keeps executions short (fewer context-switch points to flip later).
+  // But only up to a fairness slice: a naked spin loop (a retry that
+  // yields at each access without ever parking — e.g. waiting out a
+  // TRANSITION mode) never blocks, and an unconditional prev-runner
+  // preference would re-pick the spinner forever. After kFairSlice
+  // consecutive picks the default rotates to another enabled processor,
+  // which is all a livelock-free-under-fairness scenario needs to finish.
+  const bool keep = last_pick_ != kNoProc && contains(enabled, last_pick_) &&
+                    (consecutive_ < kFairSlice || enabled.size() == 1);
+  if (avoid_sleep) {
+    if (keep && !sleeping(last_pick_)) return last_pick_;
+    for (ProcId p : enabled)
+      if (p != last_pick_ && !sleeping(p)) return p;
+    for (ProcId p : enabled)
+      if (!sleeping(p)) return p;
+  }
+  if (keep) return last_pick_;
+  for (ProcId p : enabled)
+    if (p != last_pick_) return p;
+  return enabled.front();
+}
+
+void Explorer::note_pick(ProcId p) {
+  consecutive_ = p == last_pick_ ? consecutive_ + 1 : 1;
+  last_pick_ = p;
+}
+
+ProcId Explorer::pick(const std::vector<ProcId>& enabled) {
+  FPQ_ASSERT_MSG(!enabled.empty(), "pick from empty enabled set");
+  ++steps_this_exec_;
+  ++stats_.steps;
+  if (!free_running_ && params_.max_steps != 0 && steps_this_exec_ > params_.max_steps) {
+    // Never unwind a fiber from here (RAII release paths perform Shared
+    // accesses of their own): switch to free-running default scheduling so
+    // the execution completes naturally, then end the exploration.
+    free_running_ = true;
+    stats_.step_budget_hit = true;
+  }
+  if (free_running_) {
+    note_pick(default_pick(enabled, /*avoid_sleep=*/false));
+    return last_pick_;
+  }
+
+  if (cursor_ < stack_.size()) {
+    // Replaying the recorded prefix toward the flip point.
+    Node& n = stack_[cursor_];
+    FPQ_ASSERT_MSG(n.enabled == enabled,
+                   "exhaustive replay diverged: scenario is not schedule-deterministic");
+    live_sleep_ = n.sleep_entry;
+    for (const auto& t : n.tried)
+      if (t.first != n.chosen) live_sleep_.push_back(t);
+    ++cursor_;
+    note_pick(n.chosen);
+    return n.chosen;
+  }
+
+  Node n;
+  n.enabled = enabled;
+  n.sleep_entry = live_sleep_;
+  n.chosen = default_pick(enabled, /*avoid_sleep=*/true);
+  if (sleeping(n.chosen)) {
+    // Every enabled processor is asleep: this execution only reproduces an
+    // explored prefix. Run it to completion anyway (abandoning mid-run
+    // would leave live fibers) and record the redundancy honestly.
+    sleep_blocked_this_exec_ = true;
+  }
+  n.backtrack.push_back(n.chosen);
+  n.done.push_back(n.chosen);
+  stack_.push_back(std::move(n));
+  ++cursor_;
+  note_pick(stack_.back().chosen);
+  return last_pick_;
+}
+
+void Explorer::on_event(ProcId p, u64 word, AccessKind kind, bool rmw_applied) {
+  if (free_running_) return;
+  FPQ_ASSERT_MSG(cursor_ > 0, "access event before any pick");
+  Node& n = stack_[cursor_ - 1];
+  FPQ_ASSERT_MSG(n.chosen == p, "access event from a processor that was not scheduled");
+
+  const Event e{word, kind != AccessKind::Read, true};
+  // Debug aid: FPQ_DPOR_TRACE=1 dumps every scheduled event (execution
+  // index, choice-point depth, proc, R/W, word ordinal) to stderr — the
+  // fastest way to read a counterexample schedule.
+  static const bool trace = std::getenv("FPQ_DPOR_TRACE") != nullptr;
+  if (trace)
+    std::fprintf(stderr, "[exec %llu] #%llu p%u %s w%llu\n",
+                 (unsigned long long)stats_.executions, (unsigned long long)(cursor_ - 1),
+                 p, e.write ? "W" : "R", (unsigned long long)word);
+  if (n.ev.valid) {
+    FPQ_ASSERT_MSG(n.ev.word == e.word && n.ev.write == e.write,
+                   "exhaustive replay diverged: different event at a replayed choice point");
+  }
+  n.ev = e;
+  bool tried_known = false;
+  for (const auto& t : n.tried)
+    if (t.first == p) tried_known = true;
+  if (!tried_known) n.tried.push_back({p, e});
+
+  // Backtrack-set computation (Flanagan & Godefroid): for every earlier
+  // dependent access this one is not already ordered after, the *earlier*
+  // access's choice point must also try running p first.
+  VectorClock& clk = clocks_[p];
+  WordState& w = words_[word];
+  const u64 here = cursor_ - 1;
+  auto consider = [&](ProcId q, const Epoch& qe, u64 jnode) {
+    if (q == p) return;
+    if (clk.includes(qe)) return; // already ordered; reversal is impossible
+    Node& nj = stack_[jnode];
+    if (contains(nj.enabled, p)) {
+      add_unique(nj.backtrack, p);
+    } else {
+      for (ProcId r : nj.enabled) add_unique(nj.backtrack, r);
+    }
+  };
+  if (e.write) {
+    if (w.has_write) consider(w.writer, w.wepoch, w.wnode);
+    for (const auto& r : w.reads) consider(r.proc, r.epoch, r.node);
+  } else {
+    if (w.has_write) consider(w.writer, w.wepoch, w.wnode);
+  }
+
+  // Dependence-order update. Only *real* dependencies add edges (joining
+  // anything more would be unsound pruning): every access reads-from or
+  // overwrites the last write; only an applied write orders after the
+  // reads it invalidates. A failed CAS is conservatively a write for the
+  // conflict analysis above, but it observably only read the word.
+  const bool applies_write = e.write && rmw_applied;
+  if (w.has_write) clk.join(w.wclock);
+  if (applies_write)
+    for (const auto& r : w.reads) clk.join(r.clock);
+  clk.tick(p);
+  if (applies_write) {
+    w.has_write = true;
+    w.writer = p;
+    w.wepoch = clk.epoch_of(p);
+    w.wnode = here;
+    w.wclock = clk;
+    w.reads.clear();
+  } else {
+    w.reads.push_back({p, clk.epoch_of(p), here, clk});
+  }
+
+  // Sleep-set wake rule: an executed event wakes every sleeper whose
+  // recorded move is dependent with it (their orders no longer commute).
+  live_sleep_.erase(std::remove_if(live_sleep_.begin(), live_sleep_.end(),
+                                   [&](const SleepEntry& s) {
+                                     return s.first == p || dependent(s.second, e);
+                                   }),
+                    live_sleep_.end());
+}
+
+void Explorer::note_deadlock() {
+  deadlock_this_exec_ = true;
+}
+
+u64 Explorer::flip_preemptions(std::size_t j, ProcId c) const {
+  u64 n = 0;
+  for (std::size_t i = 1; i <= j; ++i) {
+    const ProcId cur = i == j ? c : stack_[i].chosen;
+    const ProcId prev = stack_[i - 1].chosen;
+    if (cur != prev && contains(stack_[i].enabled, prev)) ++n;
+  }
+  return n;
+}
+
+void Explorer::end_execution() {
+  ++stats_.executions;
+  if (stack_.size() > stats_.max_depth) stats_.max_depth = stack_.size();
+  if (sleep_blocked_this_exec_) ++stats_.sleep_blocked;
+  if (deadlock_this_exec_) stats_.deadlock = true;
+  if (stats_.step_budget_hit) {
+    finished_ = true;
+    return;
+  }
+
+  // Backtrack: flip the deepest node with an untried candidate that is
+  // neither asleep on entry nor over the preemption bound; pop exhausted
+  // nodes behind it.
+  while (!stack_.empty()) {
+    Node& n = stack_.back();
+    const std::size_t j = stack_.size() - 1;
+    ProcId cand = kNoProc;
+    for (ProcId c : n.backtrack) {
+      if (contains(n.done, c)) continue;
+      bool asleep = false;
+      for (const auto& s : n.sleep_entry)
+        if (s.first == c) asleep = true;
+      if (asleep) {
+        ++stats_.sleep_pruned;
+        n.done.push_back(c);
+        continue;
+      }
+      if (params_.preempt_bound != 0 && flip_preemptions(j, c) > params_.preempt_bound) {
+        ++stats_.bound_skipped;
+        stats_.preempt_bound_hit = true;
+        n.done.push_back(c);
+        continue;
+      }
+      cand = c;
+      break;
+    }
+    if (cand != kNoProc) {
+      if (params_.max_execs != 0 && stats_.executions >= params_.max_execs) {
+        stats_.exec_budget_hit = true;
+        finished_ = true;
+        return;
+      }
+      n.chosen = cand;
+      n.done.push_back(cand);
+      n.ev = Event{};
+      return;
+    }
+    stack_.pop_back();
+  }
+  finished_ = true;
+}
+
+ExploreOutcome explore_all(u32 nprocs, const MachineParams& machine, u64 seed,
+                           const ExploreParams& params, const ExploreScenario& scenario) {
+  Explorer ex(nprocs, params);
+  ExploreOutcome out;
+  while (!ex.finished()) {
+    ex.begin_execution();
+    Engine engine(nprocs, machine, seed);
+    engine.set_explorer(&ex);
+    std::string diag;
+    bool ok = scenario(engine, diag);
+    if (ex.deadlocked()) {
+      ok = false;
+      if (diag.empty()) diag = "deadlock: live fibers with nothing enabled";
+    }
+    const u64 index = ex.execution_index();
+    ex.end_execution();
+    if (!ok) {
+      out.violation = true;
+      out.violating_exec = index;
+      out.diagnostic = diag;
+      break;
+    }
+  }
+  out.stats = ex.stats();
+  return out;
+}
+
+} // namespace fpq::sim

@@ -1,0 +1,214 @@
+// Stateless model checking for the simulator: dynamic partial-order
+// reduction (DPOR) with sleep sets and an optional preemption bound.
+//
+// The checker is *stateless* in the Godefroid sense: it never snapshots
+// machine state. Each explored execution rebuilds the scenario from scratch
+// (fresh queue, fresh Engine with the same seed — so every processor's
+// workload RNG stream is identical across executions) and the Explorer
+// replays a recorded choice prefix deterministically before diverging at
+// the deepest choice point with an untried backtrack candidate. This is
+// Flanagan & Godefroid's DPOR (POPL 2005) driven by the engine's
+// instrumented access path: every Shared access is a scheduling point.
+//
+// What counts as happens-before here is deliberately NOT the race
+// detector's relation. The detector derives HB from *declared* memory
+// orders — including a global seq_cst clock that orders accesses to
+// different words. That is exactly right for finding under-annotations and
+// exactly wrong for pruning schedules: a cross-word seq_cst edge would let
+// DPOR skip reorderings that are observably different. The Explorer reuses
+// the detector's VectorClock container but builds its own relation from
+// dependence only: program order, plus write->access / access->write edges
+// on the *same word*. That relation is sound for pruning on this
+// sequentially consistent simulator regardless of annotations (DESIGN.md
+// §15).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/memory.hpp"
+#include "sim/params.hpp"
+#include "sim/race_detector.hpp" // VectorClock, Epoch
+
+namespace fpq::sim {
+
+class Engine;
+
+struct ExploreParams {
+  /// Maximum number of preemptions (scheduling a different processor while
+  /// the previous one is still enabled) per execution; 0 = unbounded, i.e.
+  /// full DPOR. With a bound, absence of violations is qualified (see
+  /// ExploreStats::preempt_bound_hit).
+  u32 preempt_bound = 0;
+  /// Stop after this many executions; 0 = unbounded.
+  u64 max_execs = u64{1} << 20;
+  /// Per-execution scheduling-point budget; 0 = unbounded. Exceeding it
+  /// switches the execution to free-running completion and ends the
+  /// exploration (a scenario that long is out of litmus scope).
+  u64 max_steps = u64{1} << 20;
+};
+
+/// Honest coverage accounting: a "clean" exploration is only a proof when
+/// complete() — no budget tripped and no bound pruned a candidate.
+struct ExploreStats {
+  u64 executions = 0;    // executions run to completion
+  u64 sleep_pruned = 0;  // backtrack candidates killed by sleep sets
+  u64 sleep_blocked = 0; // executions that went sleep-redundant mid-run
+  u64 bound_skipped = 0; // backtrack candidates skipped by the bound
+  u64 steps = 0;         // total scheduling decisions across executions
+  u64 max_depth = 0;     // deepest execution, in scheduling decisions
+  bool preempt_bound_hit = false;
+  bool exec_budget_hit = false;
+  bool step_budget_hit = false;
+  bool deadlock = false; // some execution deadlocked (a counterexample)
+
+  /// True when every non-redundant schedule was actually explored.
+  bool complete() const {
+    return !preempt_bound_hit && !exec_budget_hit && !step_budget_hit;
+  }
+};
+
+std::string to_string(const ExploreStats& s);
+
+/// The DPOR core. Drives one scenario through every non-redundant schedule:
+///
+///   Explorer ex(nprocs, params);
+///   while (!ex.finished()) {
+///     ex.begin_execution();
+///     ... build fresh state, run it under an Engine with set_explorer(&ex),
+///     ... evaluate oracles
+///     ex.end_execution();
+///   }
+///
+/// The scenario must be schedule-deterministic: the only allowed source of
+/// divergence between executions is the schedule itself (fixed seed, no
+/// fault plans, no wall-clock reads). The Explorer asserts this by
+/// checking the enabled set at every replayed choice point.
+class Explorer {
+ public:
+  explicit Explorer(u32 nprocs, ExploreParams params = {});
+
+  /// True once the whole reduced schedule space (or a budget) is exhausted.
+  bool finished() const { return finished_; }
+  void begin_execution();
+  void end_execution();
+  const ExploreStats& stats() const { return stats_; }
+
+  /// Did the current (just-finished) execution deadlock?
+  bool deadlocked() const { return deadlock_this_exec_; }
+  /// 0-based index of the execution in progress (valid between begin/end).
+  u64 execution_index() const { return stats_.executions; }
+
+  // ---- Engine-facing interface (called from Engine::run / on_access).
+
+  /// Picks the next processor to run from the enabled set. Replays the
+  /// recorded prefix, then extends the stack with new choice points.
+  ProcId pick(const std::vector<ProcId>& enabled);
+  /// Reports the Shared access the picked processor performed: the visible
+  /// event of the current choice point. Slices that park or terminate
+  /// without an access report nothing (invisible transitions commute with
+  /// everything, so they never create backtrack points).
+  void on_event(ProcId p, u64 word, AccessKind kind, bool rmw_applied);
+  /// The engine found live-but-blocked fibers with nothing enabled.
+  void note_deadlock();
+
+ private:
+  /// The visible event of a transition: which word, and whether it may
+  /// write. RMWs count as writes even when the CAS failed — the
+  /// conservative choice keeps event identity stable across sibling
+  /// branches (a CAS that failed in one schedule may succeed in another),
+  /// which the sleep-set soundness argument requires.
+  struct Event {
+    u64 word = 0;
+    bool write = false;
+    bool valid = false;
+  };
+  static bool dependent(const Event& a, const Event& b) {
+    return a.valid && b.valid && a.word == b.word && (a.write || b.write);
+  }
+
+  using SleepEntry = std::pair<ProcId, Event>;
+
+  /// One scheduling decision on the search stack.
+  struct Node {
+    std::vector<ProcId> enabled;
+    ProcId chosen = kNoProc;
+    Event ev; // chosen's visible event (once reported)
+    std::vector<ProcId> backtrack; // candidates that must be tried here
+    std::vector<ProcId> done;      // candidates tried or in progress
+    std::vector<SleepEntry> sleep_entry; // sleep set on entry to this node
+    /// Explored siblings with their first visible event: feeds the sleep
+    /// sets of later siblings (a proc whose recorded move commutes with
+    /// everything executed since would only reproduce an explored prefix).
+    std::vector<SleepEntry> tried;
+  };
+
+  /// Last write / reads-since-last-write per word, with full vector clocks
+  /// (exact read->write edges; litmus scale makes the O(P) copies cheap).
+  struct ReadRec {
+    ProcId proc = kNoProc;
+    Epoch epoch;
+    u64 node = 0;
+    VectorClock clock;
+  };
+  struct WordState {
+    bool has_write = false;
+    ProcId writer = kNoProc;
+    Epoch wepoch;
+    u64 wnode = 0;
+    VectorClock wclock;
+    std::vector<ReadRec> reads;
+  };
+
+  ProcId default_pick(const std::vector<ProcId>& enabled, bool avoid_sleep);
+  void note_pick(ProcId p);
+  bool sleeping(ProcId p) const;
+  /// Preemption count of the prefix 0..j-1 plus the flip of node j to c.
+  u64 flip_preemptions(std::size_t j, ProcId c) const;
+
+  u32 nprocs_;
+  ExploreParams params_;
+  ExploreStats stats_;
+  bool finished_ = false;
+
+  std::vector<Node> stack_;
+  std::size_t cursor_ = 0; // index of the node receiving the next pick
+
+  // Per-execution state, reset by begin_execution().
+  std::vector<VectorClock> clocks_;
+  std::unordered_map<u64, WordState> words_;
+  std::vector<SleepEntry> live_sleep_;
+  ProcId last_pick_ = kNoProc;
+  u64 consecutive_ = 0; // scheduling decisions last_pick_ has held in a row
+  u64 steps_this_exec_ = 0;
+  bool free_running_ = false;
+  bool sleep_blocked_this_exec_ = false;
+  bool deadlock_this_exec_ = false;
+};
+
+/// Outcome of driving a scenario through every non-redundant schedule.
+struct ExploreOutcome {
+  ExploreStats stats;
+  bool violation = false;
+  u64 violating_exec = 0; // 0-based index of the failing execution
+  std::string diagnostic;
+};
+
+/// Scenario body for explore_all: build fresh state, run it on the engine
+/// (one or more Engine::run calls), evaluate oracles. Return true when
+/// every oracle passed; otherwise fill `diag`. Check
+/// `engine.explorer()->deadlocked()` after each run and bail out (the
+/// deadlock itself is reported as a violation by the driver).
+using ExploreScenario = std::function<bool(Engine& engine, std::string& diag)>;
+
+/// Convenience driver shared by the litmus tests and the stress harness:
+/// runs `scenario` once per non-redundant schedule, stopping at the first
+/// violation.
+ExploreOutcome explore_all(u32 nprocs, const MachineParams& machine, u64 seed,
+                           const ExploreParams& params, const ExploreScenario& scenario);
+
+} // namespace fpq::sim

@@ -35,6 +35,12 @@ enum class SchedulePolicy : u8 {
   /// operations maximally overlapped — the "delay the front-runner"
   /// heuristic that concentrates rare reorderings.
   kDelayLeader,
+  /// Systematic: the schedule is dictated by a sim::Explorer
+  /// (sim/explore.hpp) that re-executes the scenario under every
+  /// DPOR-non-redundant interleaving. Unlike the randomized policies above
+  /// this is not a perturbation of smallest-clock order — the engine hands
+  /// every scheduling decision to the explorer (Engine::set_explorer).
+  kExhaustive,
 };
 
 constexpr std::string_view to_string(SchedulePolicy p) {
@@ -42,6 +48,7 @@ constexpr std::string_view to_string(SchedulePolicy p) {
     case SchedulePolicy::kSmallestClock: return "smallest-clock";
     case SchedulePolicy::kRandomPreempt: return "random-preempt";
     case SchedulePolicy::kDelayLeader: return "delay-leader";
+    case SchedulePolicy::kExhaustive: return "exhaustive";
   }
   return "?";
 }

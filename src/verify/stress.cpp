@@ -76,6 +76,9 @@ sim::MachineParams StressSpec::machine() const {
   m.sched.perturb_permille = perturb_permille;
   m.sched.max_delay = max_delay;
   m.sched.access_jitter = access_jitter;
+  // The explorer owns the schedule outright; jitter would only desync the
+  // recorded replay prefix from the engine's clocks.
+  if (policy == sim::SchedulePolicy::kExhaustive) m.sched.access_jitter = 0;
   m.race_detect = race_detect;
   return m;
 }
@@ -98,12 +101,19 @@ std::string to_line(const StressSpec& s) {
   // byte-identical to what earlier versions emitted.
   if (!s.faults.empty()) os << " faults=" << sim::to_string(s.faults);
   if (s.watchdog != 0) os << " watchdog=" << s.watchdog;
+  // Exploration keys only for the exhaustive policy, so every randomized-
+  // policy replay line stays byte-identical to what earlier versions
+  // emitted.
+  if (s.policy == sim::SchedulePolicy::kExhaustive) {
+    os << " preempt_bound=" << s.preempt_bound << " max_execs=" << s.max_execs;
+    if (s.trace != 0) os << " trace=" << s.trace;
+  }
   return os.str();
 }
 
 sim::SchedulePolicy policy_from_string(std::string_view name) {
   for (auto p : {sim::SchedulePolicy::kSmallestClock, sim::SchedulePolicy::kRandomPreempt,
-                 sim::SchedulePolicy::kDelayLeader}) {
+                 sim::SchedulePolicy::kDelayLeader, sim::SchedulePolicy::kExhaustive}) {
     if (to_string(p) == name) return p;
   }
   throw std::invalid_argument("unknown schedule policy: " + std::string(name));
@@ -122,7 +132,8 @@ StressSpec spec_from_line(const std::string& line) {
     try {
     if (key == "algo") {
       s.algo = algorithm_from_string(val);
-    } else if (key == "policy") {
+    } else if (key == "policy" || key == "schedule") {
+      // "schedule" mirrors the fpq_stress --schedule= flag (ISSUE 10).
       s.policy = policy_from_string(val);
     } else if (key == "seed") {
       s.seed = std::stoull(val);
@@ -164,6 +175,12 @@ StressSpec spec_from_line(const std::string& line) {
       s.faults = sim::fault_plan_from_string(val);
     } else if (key == "watchdog") {
       s.watchdog = std::stoull(val);
+    } else if (key == "preempt_bound") {
+      s.preempt_bound = static_cast<u32>(std::stoul(val));
+    } else if (key == "max_execs") {
+      s.max_execs = std::stoull(val);
+    } else if (key == "trace") {
+      s.trace = std::stoull(val);
     } else {
       throw std::invalid_argument("unknown stress spec key: " + key);
     }
@@ -193,9 +210,16 @@ std::string format_failure(const StressFailure& f) {
   return os.str();
 }
 
-std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
+namespace {
+
+/// One deterministic execution of the scenario: fresh queue, fresh engine,
+/// mixed phase + quiescent drain, full oracle stack. With `explorer` set
+/// this is one execution of an exhaustive exploration (the engine hands it
+/// every scheduling decision); the caller owns the begin/end bracketing.
+std::optional<StressFailure> run_one_execution(const QueueFactory& make,
                                                const StressSpec& spec,
-                                               const ScenarioChecks& checks) {
+                                               const ScenarioChecks& checks,
+                                               sim::Explorer* explorer) {
   PqParams params{.npriorities = spec.npriorities, .maxprocs = spec.nprocs,
                   .bin_capacity = 1u << 13};
   params.seed = spec.seed;
@@ -217,11 +241,23 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
     alloc_plan |= e.kind == sim::FaultKind::kAllocFail;
 
   sim::Engine eng(spec.nprocs, spec.machine(), spec.seed);
+  if (explorer != nullptr) eng.set_explorer(explorer);
   if (spec.faulted()) {
     sim::FaultPlan plan = spec.faults;
     plan.watchdog_budget = spec.watchdog;
     eng.set_fault_plan(std::move(plan));
   }
+  auto fail = [&](std::string kind, std::string diagnostic) {
+    return StressFailure{spec, std::move(kind), std::move(diagnostic), rec.merged()};
+  };
+  // A deadlocked schedule leaves fibers parked mid-operation: the queue's
+  // internal state (held locks, reclamation limbo) is arbitrary and its
+  // destructor may legitimately assert. Leak the queue on purpose — the
+  // counterexample is worth more than the few litmus-sized allocations.
+  auto deadlock_fail = [&]() {
+    (void)pq.release();
+    return fail("deadlock", "schedule deadlocks: live fibers with nothing enabled");
+  };
   if (spec.batch <= 1) {
     eng.run([&](ProcId id) {
       for (u32 i = 0; i < spec.ops_per_proc; ++i) {
@@ -298,9 +334,7 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
     });
   }
 
-  auto fail = [&](std::string kind, std::string diagnostic) {
-    return StressFailure{spec, std::move(kind), std::move(diagnostic), rec.merged()};
-  };
+  if (explorer != nullptr && explorer->deadlocked()) return deadlock_fail();
   if (insert_refused)
     return fail("capacity", "insert refused: bin/heap capacity exhausted (sizing bug)");
 
@@ -327,6 +361,7 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
       drained.push_back(*e);
     }
   });
+  if (explorer != nullptr && explorer->deadlocked()) return deadlock_fail();
 
   if (spec.faulted()) {
     // Sweep every other processor's reclamation state onto the drainer:
@@ -438,6 +473,49 @@ std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
   return std::nullopt;
 }
 
+} // namespace
+
+std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
+                                               const StressSpec& spec,
+                                               const ScenarioChecks& checks) {
+  if (spec.policy == sim::SchedulePolicy::kExhaustive)
+    return run_exhaustive_with(make, spec, checks).failure;
+  return run_one_execution(make, spec, checks, nullptr);
+}
+
+ExhaustiveResult run_exhaustive_with(const QueueFactory& make, const StressSpec& spec,
+                                     const ScenarioChecks& checks) {
+  if (spec.faulted())
+    throw std::invalid_argument(
+        "exhaustive exploration is incompatible with fault plans: a fault's "
+        "access-ordinal trigger is not stable across schedules");
+  sim::ExploreParams ep;
+  ep.preempt_bound = spec.preempt_bound;
+  ep.max_execs = spec.max_execs;
+  sim::Explorer ex(spec.nprocs, ep);
+  ExhaustiveResult res;
+  while (!ex.finished()) {
+    ex.begin_execution();
+    auto f = run_one_execution(make, spec, checks, &ex);
+    const u64 index = ex.execution_index();
+    ex.end_execution();
+    if (f) {
+      // Stamp which execution failed so the counterexample line documents
+      // its position in the (deterministic) exploration order.
+      f->spec.trace = index;
+      res.failing_exec = index;
+      res.failure = std::move(f);
+      break;
+    }
+  }
+  res.stats = ex.stats();
+  return res;
+}
+
+ExhaustiveResult run_exhaustive(const StressSpec& spec) {
+  return run_exhaustive_with(registry_factory(spec), spec, checks_for(spec));
+}
+
 std::optional<StressFailure> run_scenario(const StressSpec& spec) {
   return run_scenario_with(registry_factory(spec), spec, checks_for(spec));
 }
@@ -493,6 +571,19 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
   auto sweep_one = [&](StressSpec spec) {
     if (failures.size() >= opt.max_failures) return;
     if (opt.on_scenario) opt.on_scenario(spec);
+    if (spec.policy == sim::SchedulePolicy::kExhaustive) {
+      // Exhaustive scenarios go through the exploring driver directly so
+      // coverage is reported honestly even when the exploration is clean.
+      ExhaustiveResult r = run_exhaustive_with(registry_factory(spec), spec, checks_for(spec));
+      if (progress)
+        *progress << "  " << to_string(spec.algo) << " seed " << spec.seed
+                  << " exhaustive: " << sim::to_string(r.stats) << "\n";
+      if (r.failure) {
+        failures.push_back(opt.minimize_failures ? minimize(*r.failure) : *r.failure);
+        if (progress) *progress << format_failure(failures.back());
+      }
+      return;
+    }
     if (auto r = run_scenario(spec)) {
       failures.push_back(opt.minimize_failures ? minimize(*r) : *r);
       if (progress) *progress << format_failure(failures.back());
@@ -518,10 +609,21 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       spec.race_detect = opt.race_detect;
       spec.faults = opt.faults;
       spec.watchdog = opt.watchdog;
+      spec.preempt_bound = opt.preempt_bound;
+      spec.max_execs = opt.max_execs;
       // The baseline policy stays jitter-free: it is the paper's
-      // measurement schedule, kept as the known-good reference point.
-      spec.access_jitter =
-          policy == sim::SchedulePolicy::kSmallestClock ? 0 : opt.access_jitter;
+      // measurement schedule, kept as the known-good reference point. The
+      // exhaustive policy owns the schedule outright, so jitter is moot.
+      spec.access_jitter = policy == sim::SchedulePolicy::kSmallestClock ||
+                                   policy == sim::SchedulePolicy::kExhaustive
+                               ? 0
+                               : opt.access_jitter;
+      // Under exhaustive exploration the strict-guarantee algorithms get
+      // the Wing-Gong checker inline (the sub-sweep below is redundant
+      // when every schedule is visited anyway).
+      if (policy == sim::SchedulePolicy::kExhaustive &&
+          (algo == Algorithm::kSingleLock || algo == Algorithm::kLockfreeSkipList))
+        spec.check_lin = true;
       const std::size_t before = failures.size();
       for (u64 seed = opt.seed_base; seed < opt.seed_base + opt.seeds; ++seed) {
         spec.seed = seed;
@@ -533,6 +635,7 @@ std::vector<StressFailure> run_sweep(const StressOptions& opt, std::ostream* pro
       // is a per-op linearization point: both get the exhaustive checker on
       // small histories.
       if ((algo == Algorithm::kSingleLock || algo == Algorithm::kLockfreeSkipList) &&
+          policy != sim::SchedulePolicy::kExhaustive &&
           failures.size() < opt.max_failures) {
         StressSpec lin = spec;
         lin.nprocs = 3;

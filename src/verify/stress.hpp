@@ -34,6 +34,7 @@
 #include "funnel/params.hpp"
 #include "reclaim/policy.hpp"
 #include "platform/sim.hpp"
+#include "sim/explore.hpp"
 #include "sim/faults.hpp"
 #include "verify/history.hpp"
 
@@ -96,6 +97,15 @@ struct StressSpec {
   /// FaultPlan::watchdog_budget; 0 disables. Required for plans that stall
   /// a lock holder whose waiters spin without parking.
   u64 watchdog = 0;
+  /// Exhaustive exploration only (policy == kExhaustive; the keys are
+  /// serialized only then, so every other replay line stays byte-identical).
+  /// preempt_bound / max_execs map onto sim::ExploreParams; 0 = unbounded.
+  u32 preempt_bound = 0;
+  u64 max_execs = u64{1} << 20;
+  /// 0-based index of the failing execution within the exploration, stamped
+  /// onto counterexample specs. Informational on replay: the exploration
+  /// order is deterministic, so re-exploring reaches the same execution.
+  u64 trace = 0;
 
   bool faulted() const { return !faults.empty() || watchdog != 0; }
 
@@ -114,7 +124,7 @@ struct StressFailure {
   StressSpec spec;
   std::string kind; // conservation | quiescent | drain-order | linearizability
                     // | capacity | race | lock-order | fault-conservation
-                    // | rank-error
+                    // | rank-error | deadlock
   std::string diagnostic;
   /// Recorded op trace: the mixed phase (all procs) then the quiescent
   /// drain (proc 0), in invocation order.
@@ -146,11 +156,31 @@ struct ScenarioChecks {
   bool rank_error = false;
 };
 
-/// Runs one scenario; nullopt when every enabled check passes.
+/// Runs one scenario; nullopt when every enabled check passes. A spec with
+/// policy == kExhaustive is dispatched to run_exhaustive_with (the whole
+/// exploration is "one scenario": it fails iff some schedule fails).
 std::optional<StressFailure> run_scenario(const StressSpec& spec);
 std::optional<StressFailure> run_scenario_with(const QueueFactory& make,
                                                const StressSpec& spec,
                                                const ScenarioChecks& checks);
+
+/// Result of exhaustively exploring one scenario's schedule space: the
+/// first failing execution (if any) plus honest coverage accounting — a
+/// clean result with !stats.complete() is qualified, not a proof.
+struct ExhaustiveResult {
+  std::optional<StressFailure> failure;
+  sim::ExploreStats stats;
+  /// 0-based index of the failing execution (== failure->spec.trace).
+  u64 failing_exec = 0;
+};
+
+/// Runs the scenario under every DPOR-non-redundant schedule (fresh queue
+/// and engine per execution, same seed, full oracle stack each time).
+/// Throws std::invalid_argument for faulted specs: fault injection and
+/// systematic exploration are mutually exclusive.
+ExhaustiveResult run_exhaustive(const StressSpec& spec);
+ExhaustiveResult run_exhaustive_with(const QueueFactory& make, const StressSpec& spec,
+                                     const ScenarioChecks& checks);
 
 /// Greedy shrink (processors, then ops per processor) while the scenario
 /// still fails any enabled check. Deterministic and cheap: a handful of
@@ -188,6 +218,10 @@ struct StressOptions {
   /// a hostile plan across the whole registry (StressSpec::faults).
   sim::FaultPlan faults;
   u64 watchdog = 0;
+  /// Exhaustive-policy knobs forwarded into every spec (ignored by the
+  /// randomized policies): preemption bound and execution budget.
+  u32 preempt_bound = 0;
+  u64 max_execs = u64{1} << 20;
   bool minimize_failures = true;
   /// Stop sweeping after this many failures (each is minimized).
   u32 max_failures = 1;

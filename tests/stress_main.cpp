@@ -59,7 +59,13 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " [options]\n"
       << "  --algos=A,B,...      algorithms (display names; default: all nine)\n"
-      << "  --policies=p,...     smallest-clock | random-preempt | delay-leader\n"
+      << "  --policies=p,...     smallest-clock | random-preempt | delay-leader |\n"
+      << "                       exhaustive (DPOR model checking, DESIGN.md §15)\n"
+      << "  --schedule=NAME      shorthand: append one policy (e.g. exhaustive)\n"
+      << "  --preempt-bound=N    exhaustive only: max preemptions per execution\n"
+      << "                       (0 = unbounded, full DPOR; default 0)\n"
+      << "  --max-execs=N        exhaustive only: execution budget per scenario\n"
+      << "                       (0 = unbounded; default 2^20)\n"
       << "  --seeds=N            seeds per (algorithm, policy) combination (default 32)\n"
       << "  --seed-base=N        first seed (default 1)\n"
       << "  --procs=N --ops=N --nprio=N --insert-pct=N --jitter=N   workload shape\n"
@@ -111,6 +117,12 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--policies=", 0) == 0) {
         for (const std::string& name : split_csv(val()))
           opt.policies.push_back(policy_from_string(name));
+      } else if (arg.rfind("--schedule=", 0) == 0) {
+        opt.policies.push_back(policy_from_string(val()));
+      } else if (arg.rfind("--preempt-bound=", 0) == 0) {
+        opt.preempt_bound = static_cast<fpq::u32>(std::stoul(val()));
+      } else if (arg.rfind("--max-execs=", 0) == 0) {
+        opt.max_execs = std::stoull(val());
       } else if (arg.rfind("--seeds=", 0) == 0) {
         opt.seeds = static_cast<fpq::u32>(std::stoul(val()));
       } else if (arg.rfind("--seed-base=", 0) == 0) {
@@ -206,6 +218,19 @@ int main(int argc, char** argv) {
     }
     remember_spec(spec);
     std::cout << "replaying: " << to_line(spec) << "\n";
+    if (spec.policy == fpq::sim::SchedulePolicy::kExhaustive) {
+      // Re-exploring is the replay: the exploration order is deterministic,
+      // so the failing execution (spec.trace) is reached the same way.
+      // Coverage is printed either way so a clean result is qualified.
+      ExhaustiveResult r = run_exhaustive(spec);
+      std::cout << "coverage: " << fpq::sim::to_string(r.stats) << "\n";
+      if (r.failure) {
+        std::cout << format_failure(*r.failure);
+        return 1;
+      }
+      std::cout << "scenario passed all checks (fixed already, or a different build?)\n";
+      return 0;
+    }
     if (auto f = run_scenario(spec)) {
       std::cout << format_failure(*f);
       return 1;

@@ -43,6 +43,19 @@ are cheap to catch at review time:
                    exist. Deleted-function declarations (`= delete`) are
                    not flagged.
 
+  schedule-fork-point
+                   a concurrency primitive inside the scheduler layer
+                   (src/sim/): `std::atomic`, `std::thread`/`std::mutex`,
+                   or an instrumented `Shared<>`/`SimShared<>` word. The
+                   model checker (DESIGN.md §15) is sound only if every
+                   schedulable access flows through Engine::on_access —
+                   a raw atomic below that hook is an access the explorer
+                   never sees as a fork point (missed dependence edges =
+                   unsound pruning), and an instrumented word *inside*
+                   the engine would re-enter the hook from the scheduler
+                   itself. Host-side state that is provably outside the
+                   simulated machine carries a waiver saying so.
+
   naked-spin       an unbounded loop (`for (;;)`, `while (true)`,
                    `while (1)`) outside src/sync/ whose body shows no
                    escalation or parking token — no Backoff, spin_until /
@@ -78,8 +91,10 @@ SCAN_DIRS = ["src"]
 # The platform layer implements the contract and the bench support layer
 # measures the raw backend; both legitimately name std::atomic. The sim
 # layer (race detector) and common/ (the MemOrder enum itself) reason
-# *about* orders, so the seq-cst rule skips them too.
-RAW_ATOMIC_EXEMPT_DIRS = ["src/platform", "src/bench_support"]
+# *about* orders, so the seq-cst rule skips them too. src/sim is owned by
+# the stricter schedule-fork-point rule instead of raw-atomic: same
+# tokens, scheduler-specific argument, one finding per line.
+RAW_ATOMIC_EXEMPT_DIRS = ["src/platform", "src/bench_support", "src/sim"]
 SEQ_CST_EXEMPT_DIRS = ["src/platform", "src/bench_support", "src/sim", "src/common"]
 # The reclamation layer is where deferred frees are implemented; its
 # deleters are the one place a real `delete` belongs.
@@ -89,6 +104,10 @@ NAKED_RECLAIM_EXEMPT_DIRS = ["src/reclaim"]
 # native backend's host-side loops, which the fault model does not cover.
 NAKED_SPIN_EXEMPT_DIRS = ["src/sync", "src/platform", "src/sim",
                           "src/bench_support", "src/common"]
+# The scheduler layer: everything here runs *underneath* the instrumented
+# access hook, so concurrency primitives and instrumented words are both
+# escapes (see the schedule-fork-point rule in the docstring).
+FORK_POINT_DIRS = ["src/sim"]
 
 DESIGN_DOC = "DESIGN.md"
 EXEMPTION_SECTION = "### 8.2"
@@ -120,6 +139,17 @@ SHARD_VALUE_TYPES = {"ShardConfig", "ShardStats", "ShardPolicyKind", "kMaxShards
 # `= delete ;`), which end the statement rather than name an operand.
 NAKED_DELETE_RE = re.compile(r"\bdelete\b\s*(?:\[\s*\]\s*)?(?=[A-Za-z_(*:])")
 NAKED_FREE_RE = re.compile(r"\b(?:std\s*::\s*)?free\s*\(")
+# Concurrency primitives and instrumented words that must not appear in
+# the scheduler layer: real atomics/threads escape Engine::on_access (the
+# explorer's fork-point source), and Shared<>/SimShared<> words would
+# re-enter the hook from inside the engine. `\bShared<` deliberately does
+# not match `SimShared<` (no word boundary there) — both alternations are
+# listed so either spelling is caught and named in the finding.
+FORK_POINT_RE = re.compile(
+    r"\bstd\s*::\s*atomic\b|#\s*include\s*<(?:atomic|thread|mutex|condition_variable)>|"
+    r"\bstd\s*::\s*(?:jthread|thread|mutex|recursive_mutex|condition_variable\w*)\b|"
+    r"\bSimShared<|\bShared<"
+)
 # An unbounded loop head; the body is then searched for escalation tokens.
 NAKED_SPIN_HEAD_RE = re.compile(
     r"\bfor\s*\(\s*;\s*;\s*\)|\bwhile\s*\(\s*(?:true|1)\s*\)"
@@ -207,6 +237,7 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
     naked_spin_scanned = not any(
         rel.startswith(d + "/") for d in NAKED_SPIN_EXEMPT_DIRS
     )
+    fork_point_scanned = any(rel.startswith(d + "/") for d in FORK_POINT_DIRS)
 
     for idx, line in enumerate(lines):
         code = line.split("//", 1)[0]
@@ -248,6 +279,15 @@ def lint_file(rel: str, lines: list[str], seq_cst_exempt_files: set[str]) -> lis
                             f"contiguous array of per-shard descriptor `{name}` "
                             "without Padded<> — neighbouring shards false-share "
                             "(DESIGN.md §14)")
+        if fork_point_scanned:
+            m = FORK_POINT_RE.search(code)
+            if m:
+                finding(idx, "schedule-fork-point",
+                        f"`{m.group(0).strip()}` inside the scheduler layer — "
+                        "schedulable accesses must route through "
+                        "Engine::on_access so the explorer sees the fork point "
+                        "(DESIGN.md §15); waive only for host-side state "
+                        "provably outside the simulated machine")
         if naked_reclaim_scanned and (NAKED_DELETE_RE.search(code)
                                       or NAKED_FREE_RE.search(code)):
             finding(idx, "naked-reclaim",
@@ -344,6 +384,21 @@ SELF_TEST_CASES = [
      "delete cur; // contract-lint: allow(naked-reclaim) quiescent owner teardown"),
     (None, "src/pq/x.hpp", "// delete-min scans the prefix"),
     (None, "src/pq/x.hpp", "g.retire(u); // deferred free"),
+    # The scheduler layer must not host concurrency primitives or
+    # instrumented words (schedule-fork-point, DESIGN.md §15).
+    ("schedule-fork-point", "src/sim/engine.cpp", "std::atomic<u64> ticket_;"),
+    ("schedule-fork-point", "src/sim/explore.cpp", "#include <atomic>"),
+    ("schedule-fork-point", "src/sim/fiber.cpp", "std::mutex switch_mu_;"),
+    ("schedule-fork-point", "src/sim/engine.hpp", "SimShared<u64> epoch_;"),
+    ("schedule-fork-point", "src/sim/engine.hpp",
+     "typename P::template Shared<u64> mode_;"),
+    (None, "src/sim/engine.hpp", "// whose Shared<T> words report each access"),
+    (None, "src/platform/sim.hpp", "std::atomic<int> a;"),
+    (None, "src/pq/x.hpp", "SimShared<u64> w; // test fixture, not src/sim"),
+    (None, "src/sim/engine.cpp",
+     "std::atomic<u64> wall_; "
+     "// contract-lint: allow(schedule-fork-point) host-side wall clock, "
+     "never read by a fiber"),
     ("naked-spin", "src/pq/x.hpp",
      "for (;;) {\n  if (w.load_acquire() == 0) break;\n}"),
     ("naked-spin", "src/funnel/x.hpp",
